@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction bench binaries. Every binary
+// prints the same rows/series the corresponding paper table or figure
+// reports, on the simulated workloads documented in DESIGN.md §3.
+//
+// Environment knobs:
+//   HUMO_TRIALS  — randomized trials per cell for SAMP/HYBR (default 20;
+//                  the paper averaged 100).
+//   HUMO_SEED    — base seed (default 1000).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "humo.h"
+
+namespace humo::bench {
+
+inline size_t Trials() {
+  return static_cast<size_t>(GetEnvInt64("HUMO_TRIALS", 20));
+}
+
+inline uint64_t BaseSeed() {
+  return static_cast<uint64_t>(GetEnvInt64("HUMO_SEED", 1000));
+}
+
+/// Optimizer factories wired the way §VIII runs them.
+inline eval::OptimizerFn MakeBase() {
+  return [](const core::SubsetPartition& p, const core::QualityRequirement& r,
+            core::Oracle* o) {
+    return core::BaselineOptimizer().Optimize(p, r, o);
+  };
+}
+
+inline eval::OptimizerFn MakeSamp(uint64_t seed) {
+  return [seed](const core::SubsetPartition& p,
+                const core::QualityRequirement& r, core::Oracle* o) {
+    core::PartialSamplingOptions opts;
+    opts.seed = seed;
+    return core::PartialSamplingOptimizer(opts).Optimize(p, r, o);
+  };
+}
+
+inline eval::OptimizerFn MakeHybr(uint64_t seed) {
+  return [seed](const core::SubsetPartition& p,
+                const core::QualityRequirement& r, core::Oracle* o) {
+    core::HybridOptions opts;
+    opts.sampling.seed = seed;
+    return core::HybridOptimizer(opts).Optimize(p, r, o);
+  };
+}
+
+inline eval::ExperimentSummary RunBase(const core::SubsetPartition& p,
+                                       const core::QualityRequirement& req) {
+  // BASE is deterministic; a single trial suffices.
+  return eval::RunExperiment(
+      p, req, [](uint64_t) { return MakeBase(); }, 1, BaseSeed());
+}
+
+inline eval::ExperimentSummary RunSamp(const core::SubsetPartition& p,
+                                       const core::QualityRequirement& req) {
+  return eval::RunExperiment(
+      p, req, [](uint64_t seed) { return MakeSamp(seed); }, Trials(),
+      BaseSeed());
+}
+
+inline eval::ExperimentSummary RunHybr(const core::SubsetPartition& p,
+                                       const core::QualityRequirement& req) {
+  return eval::RunExperiment(
+      p, req, [](uint64_t seed) { return MakeHybr(seed); }, Trials(),
+      BaseSeed());
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace humo::bench

@@ -1,0 +1,51 @@
+// Fig. 10: varying sigma (distribution irregularity) on the synthetic
+// datasets with tau = 14, alpha = beta = theta = 0.9. Shapes to hold:
+// manual work grows with sigma; at sigma = 0.5 the monotonicity-of-
+// precision assumption no longer holds, so the monotonicity-dependent
+// approaches (BASE, HYBR) can fail precision while SAMP still delivers.
+
+#include "bench_common.h"
+
+using namespace humo;
+
+int main() {
+  bench::PrintHeader("Fig. 10 — varying sigma (irregularity) on synthetic data",
+                     "Chen et al., ICDE 2018, Fig. 10(a)-(c)");
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  eval::Table cost({"sigma", "BASE cost", "SAMP cost", "HYBR cost"});
+  eval::Table prec({"sigma", "BASE precision", "SAMP precision",
+                    "HYBR precision"});
+  eval::Table rec({"sigma", "BASE recall", "SAMP recall", "HYBR recall"});
+  for (double sigma : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    data::LogisticGeneratorOptions gen;
+    gen.num_pairs = 100000;
+    gen.pairs_per_subset = 200;
+    gen.tau = 14.0;
+    gen.sigma = sigma;
+    gen.seed = 7;
+    const data::Workload w = data::GenerateLogisticWorkload(gen);
+    core::SubsetPartition p(&w, 200);
+    const auto base = bench::RunBase(p, req);
+    const auto samp = bench::RunSamp(p, req);
+    const auto hybr = bench::RunHybr(p, req);
+    const std::string s = eval::Fmt(sigma, 1);
+    cost.AddRow({s, eval::FmtPercent(base.mean_cost_fraction),
+                 eval::FmtPercent(samp.mean_cost_fraction),
+                 eval::FmtPercent(hybr.mean_cost_fraction)});
+    prec.AddRow({s, eval::Fmt(base.mean_precision),
+                 eval::Fmt(samp.mean_precision),
+                 eval::Fmt(hybr.mean_precision)});
+    rec.AddRow({s, eval::Fmt(base.mean_recall), eval::Fmt(samp.mean_recall),
+                eval::Fmt(hybr.mean_recall)});
+  }
+  std::printf("(a) human cost:\n");
+  cost.Print();
+  std::printf("\n(b) precision:\n");
+  prec.Print();
+  std::printf("\n(c) recall:\n");
+  rec.Print();
+  std::printf("\npaper: cost grows with sigma; at sigma = 0.5 monotonicity "
+              "breaks — BASE/HYBR can fail precision while SAMP still meets "
+              "the requirement (GP resilience)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 12: machine runtime vs workload size on the synthetic generator
+// (paper sweeps 10k..800k pairs). Shape to hold: BASE nearly flat (linear
+// with tiny constant), SAMP/HYBR growing polynomially with the subset
+// count but still practical.
+
+#include <benchmark/benchmark.h>
+
+#include "humo.h"
+
+using namespace humo;
+
+namespace {
+
+data::Workload MakeSynthetic(size_t pairs) {
+  data::LogisticGeneratorOptions gen;
+  gen.num_pairs = pairs;
+  gen.pairs_per_subset = 200;
+  gen.tau = 14.0;
+  gen.sigma = 0.1;
+  gen.seed = 7;
+  return data::GenerateLogisticWorkload(gen);
+}
+
+void BM_Fig12_BASE(benchmark::State& state) {
+  const data::Workload w = MakeSynthetic(static_cast<size_t>(state.range(0)));
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  for (auto _ : state) {
+    core::Oracle oracle(&w);
+    auto sol = core::BaselineOptimizer().Optimize(p, req, &oracle);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Fig12_SAMP(benchmark::State& state) {
+  const data::Workload w = MakeSynthetic(static_cast<size_t>(state.range(0)));
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    core::Oracle oracle(&w);
+    core::PartialSamplingOptions opts;
+    opts.seed = ++seed;
+    auto sol = core::PartialSamplingOptimizer(opts).Optimize(p, req, &oracle);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Fig12_HYBR(benchmark::State& state) {
+  const data::Workload w = MakeSynthetic(static_cast<size_t>(state.range(0)));
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    core::Oracle oracle(&w);
+    core::HybridOptions opts;
+    opts.sampling.seed = ++seed;
+    auto sol = core::HybridOptimizer(opts).Optimize(p, req, &oracle);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(BM_Fig12_BASE)
+    ->Arg(10000)->Arg(50000)->Arg(100000)->Arg(200000)->Arg(400000)
+    ->Arg(800000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_Fig12_SAMP)
+    ->Arg(10000)->Arg(50000)->Arg(100000)->Arg(200000)->Arg(400000)
+    ->Arg(800000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_Fig12_HYBR)
+    ->Arg(10000)->Arg(50000)->Arg(100000)->Arg(200000)->Arg(400000)
+    ->Arg(800000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

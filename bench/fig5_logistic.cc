@@ -1,0 +1,22 @@
+// Fig. 5: the logistic match-proportion function of the synthetic
+// generator (Eq. 22), for tau in {8, 14, 18}.
+
+#include "bench_common.h"
+
+using namespace humo;
+
+int main() {
+  bench::PrintHeader("Fig. 5 — logistic function of the synthetic generator",
+                     "Chen et al., ICDE 2018, Fig. 5 / Eq. 22");
+  eval::Table table({"similarity", "tau=8", "tau=14", "tau=18"});
+  for (double v = 0.1; v <= 1.001; v += 0.1) {
+    table.AddRow({eval::Fmt(v, 1),
+                  eval::Fmt(data::LogisticMatchProportion(v, 8.0), 3),
+                  eval::Fmt(data::LogisticMatchProportion(v, 14.0), 3),
+                  eval::Fmt(data::LogisticMatchProportion(v, 18.0), 3)});
+  }
+  table.Print();
+  std::printf("\nEq. 22: R(v) = 0.95 / (1 + exp(-tau (v - 0.55))); smaller "
+              "tau = flatter curve = harder workload\n");
+  return 0;
+}

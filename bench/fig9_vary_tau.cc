@@ -1,0 +1,51 @@
+// Fig. 9: varying tau (logistic steepness) on the synthetic datasets with
+// sigma = 0.1, alpha = beta = theta = 0.9: (a) human cost, (b) precision,
+// (c) recall. Shapes to hold: all approaches need less manual work as tau
+// grows; achieved precision/recall above 0.9 throughout; HYBR tracks the
+// better of BASE/SAMP.
+
+#include "bench_common.h"
+
+using namespace humo;
+
+int main() {
+  bench::PrintHeader("Fig. 9 — varying tau (steepness) on synthetic data",
+                     "Chen et al., ICDE 2018, Fig. 9(a)-(c)");
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  eval::Table cost({"tau", "BASE cost", "SAMP cost", "HYBR cost"});
+  eval::Table prec({"tau", "BASE precision", "SAMP precision",
+                    "HYBR precision"});
+  eval::Table rec({"tau", "BASE recall", "SAMP recall", "HYBR recall"});
+  for (double tau : {8.0, 10.0, 12.0, 14.0, 16.0, 18.0}) {
+    data::LogisticGeneratorOptions gen;
+    gen.num_pairs = 100000;
+    gen.pairs_per_subset = 200;
+    gen.tau = tau;
+    gen.sigma = 0.1;
+    gen.seed = 7;
+    const data::Workload w = data::GenerateLogisticWorkload(gen);
+    core::SubsetPartition p(&w, 200);
+    const auto base = bench::RunBase(p, req);
+    const auto samp = bench::RunSamp(p, req);
+    const auto hybr = bench::RunHybr(p, req);
+    const std::string t = eval::Fmt(tau, 0);
+    cost.AddRow({t, eval::FmtPercent(base.mean_cost_fraction),
+                 eval::FmtPercent(samp.mean_cost_fraction),
+                 eval::FmtPercent(hybr.mean_cost_fraction)});
+    prec.AddRow({t, eval::Fmt(base.mean_precision),
+                 eval::Fmt(samp.mean_precision),
+                 eval::Fmt(hybr.mean_precision)});
+    rec.AddRow({t, eval::Fmt(base.mean_recall), eval::Fmt(samp.mean_recall),
+                eval::Fmt(hybr.mean_recall)});
+  }
+  std::printf("(a) human cost:\n");
+  cost.Print();
+  std::printf("\n(b) precision:\n");
+  prec.Print();
+  std::printf("\n(c) recall:\n");
+  rec.Print();
+  std::printf("\npaper: cost falls as tau rises (90%% -> 10%%); BASE cheaper "
+              "than SAMP for tau <= 10, SAMP cheaper beyond; HYBR tracks "
+              "the better of the two; quality above 0.9 everywhere\n");
+  return 0;
+}

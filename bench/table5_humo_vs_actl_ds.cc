@@ -1,0 +1,46 @@
+// Table V: HUMO (HYBR) vs the active-learning comparator ACTL on DS.
+// Columns: target precision, achieved recall of both, manual work psi of
+// both, and the extra human cost HUMO pays per 1% absolute recall gain.
+// Shape to hold: HUMO's recall far above ACTL's; ACTL's recall degrades
+// with the precision target; the marginal cost stays small.
+
+#include "bench_common.h"
+
+using namespace humo;
+
+int main() {
+  bench::PrintHeader("Table V — HUMO vs ACTL on DS",
+                     "Chen et al., ICDE 2018, Table V");
+  const data::Workload ds = data::SimulatePairs(data::DsConfig());
+  core::SubsetPartition p(&ds, 200);
+
+  eval::Table table({"Target precision", "HUMO recall", "ACTL recall",
+                     "HUMO psi", "ACTL psi", "dpsi/(100*drecall)"});
+  for (double target : {0.75, 0.80, 0.85, 0.90, 0.95}) {
+    const core::QualityRequirement req{target, target, 0.9};
+    const auto humo_summary = bench::RunHybr(p, req);
+
+    core::Oracle oracle(&ds);
+    actl::ActlOptions actl_opts;
+    actl_opts.seed = bench::BaseSeed();
+    const auto actl_result =
+        actl::ActiveLearningResolver(actl_opts).Resolve(p, target, &oracle);
+    double actl_recall = 0.0, actl_psi = 0.0;
+    if (actl_result.ok()) {
+      actl_recall = eval::QualityOf(ds, actl_result->labels).recall;
+      actl_psi = actl_result->human_cost_fraction;
+    }
+    const double drecall = humo_summary.mean_recall - actl_recall;
+    const double dpsi = humo_summary.mean_cost_fraction - actl_psi;
+    const double roi = drecall > 1e-9 ? dpsi / (100.0 * drecall) : 0.0;
+    table.AddRow({eval::Fmt(target, 2), eval::Fmt(humo_summary.mean_recall),
+                  eval::Fmt(actl_recall),
+                  eval::FmtPercent(humo_summary.mean_cost_fraction),
+                  eval::FmtPercent(actl_psi), eval::Fmt(roi, 4)});
+  }
+  table.Print();
+  std::printf("\npaper (DS): HUMO recall 0.86-0.97 vs ACTL 0.82 falling to "
+              "0.65; HUMO psi 4.9%%-10.1%% vs ACTL ~3-4%%; marginal cost "
+              "0.14-0.24%% per 1%% recall\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table VI: HUMO (HYBR) vs ACTL on AB — the hard workload where ACTL's
+// recall collapses (paper: 0.20 falling to 0.10) because no similarity
+// region can be certified pure enough, while HUMO holds recall near target
+// at 7-17% manual work.
+
+#include "bench_common.h"
+
+using namespace humo;
+
+int main() {
+  bench::PrintHeader("Table VI — HUMO vs ACTL on AB",
+                     "Chen et al., ICDE 2018, Table VI");
+  const data::Workload ab = data::SimulatePairs(data::AbConfig());
+  core::SubsetPartition p(&ab, 200);
+
+  eval::Table table({"Target precision", "HUMO recall", "ACTL recall",
+                     "HUMO psi", "ACTL psi", "dpsi/(100*drecall)"});
+  for (double target : {0.75, 0.80, 0.85, 0.90, 0.95}) {
+    const core::QualityRequirement req{target, target, 0.9};
+    const auto humo_summary = bench::RunHybr(p, req);
+
+    core::Oracle oracle(&ab);
+    actl::ActlOptions actl_opts;
+    actl_opts.seed = bench::BaseSeed();
+    const auto actl_result =
+        actl::ActiveLearningResolver(actl_opts).Resolve(p, target, &oracle);
+    double actl_recall = 0.0, actl_psi = 0.0;
+    if (actl_result.ok()) {
+      actl_recall = eval::QualityOf(ab, actl_result->labels).recall;
+      actl_psi = actl_result->human_cost_fraction;
+    }
+    const double drecall = humo_summary.mean_recall - actl_recall;
+    const double dpsi = humo_summary.mean_cost_fraction - actl_psi;
+    const double roi = drecall > 1e-9 ? dpsi / (100.0 * drecall) : 0.0;
+    table.AddRow({eval::Fmt(target, 2), eval::Fmt(humo_summary.mean_recall),
+                  eval::Fmt(actl_recall),
+                  eval::FmtPercent(humo_summary.mean_cost_fraction),
+                  eval::FmtPercent(actl_psi), eval::Fmt(roi, 4)});
+  }
+  table.Print();
+  std::printf("\npaper (AB): ACTL recall collapses 0.20 -> 0.10 while HUMO "
+              "holds 0.86-0.95; HUMO psi 6.8%%-16.6%%; marginal cost "
+              "0.10-0.19%% per 1%% recall\n");
+  return 0;
+}

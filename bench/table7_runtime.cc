@@ -1,0 +1,76 @@
+// Table VII: machine runtime of BASE / SAMP / HYBR on the (simulated) DS
+// and AB workloads, as google-benchmark timings. Shape to hold:
+// BASE << SAMP <= HYBR, and AB (3x the pairs, 3x the subsets) costlier
+// than DS. Absolute numbers are not comparable to the paper's 2016-era
+// machine (paper: DS 0.97/6.5/7.6 s; AB 3.1/20.9/53.5 s).
+
+#include <benchmark/benchmark.h>
+
+#include "humo.h"
+
+using namespace humo;
+
+namespace {
+
+const data::Workload& Ds() {
+  static const data::Workload w = data::SimulatePairs(data::DsConfig());
+  return w;
+}
+const data::Workload& Ab() {
+  static const data::Workload w = data::SimulatePairs(data::AbConfig());
+  return w;
+}
+
+void RunBase(benchmark::State& state, const data::Workload& w) {
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  for (auto _ : state) {
+    core::Oracle oracle(&w);
+    auto sol = core::BaselineOptimizer().Optimize(p, req, &oracle);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+
+void RunSamp(benchmark::State& state, const data::Workload& w) {
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    core::Oracle oracle(&w);
+    core::PartialSamplingOptions opts;
+    opts.seed = ++seed;
+    auto sol = core::PartialSamplingOptimizer(opts).Optimize(p, req, &oracle);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+
+void RunHybr(benchmark::State& state, const data::Workload& w) {
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    core::Oracle oracle(&w);
+    core::HybridOptions opts;
+    opts.sampling.seed = ++seed;
+    auto sol = core::HybridOptimizer(opts).Optimize(p, req, &oracle);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+
+void BM_Table7_DS_BASE(benchmark::State& s) { RunBase(s, Ds()); }
+void BM_Table7_DS_SAMP(benchmark::State& s) { RunSamp(s, Ds()); }
+void BM_Table7_DS_HYBR(benchmark::State& s) { RunHybr(s, Ds()); }
+void BM_Table7_AB_BASE(benchmark::State& s) { RunBase(s, Ab()); }
+void BM_Table7_AB_SAMP(benchmark::State& s) { RunSamp(s, Ab()); }
+void BM_Table7_AB_HYBR(benchmark::State& s) { RunHybr(s, Ab()); }
+
+BENCHMARK(BM_Table7_DS_BASE)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_DS_SAMP)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_DS_HYBR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_AB_BASE)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_AB_SAMP)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_AB_HYBR)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

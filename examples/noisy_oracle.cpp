@@ -1,0 +1,37 @@
+// Imperfect humans: HUMO with an error-injecting oracle.
+//
+// The paper assumes DH is labeled with 100% accuracy but notes (§IV) that
+// with human errors the achievable quality degrades to what the human
+// delivers on DH. This example sweeps the oracle error rate and shows the
+// graceful degradation — and that the achieved quality roughly tracks
+// (1 - error_rate) on the human-labeled share.
+
+#include <cstdio>
+
+#include "humo.h"
+
+int main() {
+  using namespace humo;
+
+  const data::Workload workload = data::SimulatePairs(data::DsConfig());
+  core::SubsetPartition partition(&workload, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+
+  eval::Table table({"oracle error", "precision", "recall", "F1",
+                     "manual work"});
+  for (double err : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    core::Oracle oracle(&workload, err, /*seed=*/17);
+    core::HybridOptimizer optimizer;
+    auto sol = optimizer.Optimize(partition, req, &oracle);
+    if (!sol.ok()) continue;
+    const auto result = core::ApplySolution(partition, *sol, &oracle);
+    const auto q = eval::QualityOf(workload, result.labels);
+    table.AddRow({eval::FmtPercent(err, 0), eval::Fmt(q.precision),
+                  eval::Fmt(q.recall), eval::Fmt(q.f1),
+                  eval::FmtPercent(result.human_cost_fraction)});
+  }
+  table.Print();
+  std::printf("\nWith error injection the guarantees hold relative to the "
+              "human's own accuracy on DH (§IV).\n");
+  return 0;
+}

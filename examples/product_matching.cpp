@@ -1,0 +1,122 @@
+// Product matching across two retail catalogs (the paper's Abt-Buy
+// scenario): the same items are described with divergent wording, so
+// matching pairs sit at low similarity and machine-only classification
+// collapses. HUMO still enforces the quality requirement — at a visibly
+// higher human cost than on the easy bibliographic workload.
+
+#include <cstdio>
+
+#include "humo.h"
+
+int main() {
+  using namespace humo;
+
+  data::ProductGeneratorOptions gen;
+  gen.num_left = 400;
+  gen.num_right = 2000;
+  gen.overlap_fraction = 0.25;
+  gen.rewrite_rate = 0.5;
+  gen.seed = 9;
+  const auto tables = data::GenerateProducts(gen);
+  std::printf("catalog A: %zu products; catalog B: %zu products\n",
+              tables.left.size(), tables.right.size());
+
+  // Name + description similarities, weighted by distinct-value counts.
+  std::vector<std::vector<std::string>> all_records;
+  for (const auto& r : tables.left.records())
+    all_records.push_back(r.attributes);
+  for (const auto& r : tables.right.records())
+    all_records.push_back(r.attributes);
+  const auto weights =
+      text::AggregatedSimilarity::WeightsFromDistinctCounts(all_records, 2);
+
+  std::vector<text::AttributeSpec> specs;
+  specs.push_back({"name",
+                   [](std::string_view a, std::string_view b) {
+                     return text::JaccardSimilarity(a, b);
+                   },
+                   weights[0]});
+  specs.push_back({"description",
+                   [](std::string_view a, std::string_view b) {
+                     return text::JaccardSimilarity(a, b);
+                   },
+                   weights[1]});
+  const text::AggregatedSimilarity sim(std::move(specs));
+
+  // Token blocking on the name attribute keeps this subquadratic, then the
+  // paper's low threshold (0.05) keeps even weak candidates.
+  const auto scorer = [&sim](const data::Record& a, const data::Record& b) {
+    return sim(a.attributes, b.attributes);
+  };
+  const data::Workload workload =
+      data::TokenBlock(tables.left, tables.right, /*attribute_index=*/0,
+                       scorer, 0.05);
+  const auto stats =
+      data::ComputeBlockingStats(tables.left, tables.right, workload);
+  std::printf("blocking: %zu candidates (reduction %.1f%%, completeness "
+              "%.1f%%)\n",
+              stats.candidate_pairs, 100.0 * stats.ReductionRatio(),
+              100.0 * stats.PairCompleteness());
+
+  core::SubsetPartition partition(&workload, 100);
+  const core::QualityRequirement req{0.85, 0.85, 0.9};
+
+  // Run all three optimizers for comparison.
+  struct Row {
+    const char* name;
+    double precision, recall, cost;
+  };
+  std::vector<Row> rows;
+  {
+    core::Oracle oracle(&workload);
+    auto sol = core::BaselineOptimizer().Optimize(partition, req, &oracle);
+    if (sol.ok()) {
+      const auto r = core::ApplySolution(partition, *sol, &oracle);
+      const auto q = eval::QualityOf(workload, r.labels);
+      rows.push_back({"BASE", q.precision, q.recall, r.human_cost_fraction});
+    }
+  }
+  {
+    core::Oracle oracle(&workload);
+    core::PartialSamplingOptions opts;
+    opts.sample_fraction_lo = 0.05;
+    opts.sample_fraction_hi = 0.08;
+    auto sol = core::PartialSamplingOptimizer(opts).Optimize(partition, req,
+                                                             &oracle);
+    if (sol.ok()) {
+      const auto r = core::ApplySolution(partition, *sol, &oracle);
+      const auto q = eval::QualityOf(workload, r.labels);
+      rows.push_back({"SAMP", q.precision, q.recall, r.human_cost_fraction});
+    }
+  }
+  {
+    core::Oracle oracle(&workload);
+    core::HybridOptions opts;
+    opts.sampling.sample_fraction_lo = 0.05;
+    opts.sampling.sample_fraction_hi = 0.08;
+    auto sol = core::HybridOptimizer(opts).Optimize(partition, req, &oracle);
+    if (sol.ok()) {
+      const auto r = core::ApplySolution(partition, *sol, &oracle);
+      const auto q = eval::QualityOf(workload, r.labels);
+      rows.push_back({"HYBR", q.precision, q.recall, r.human_cost_fraction});
+    }
+  }
+
+  eval::Table table({"optimizer", "precision", "recall", "manual work"});
+  for (const auto& r : rows) {
+    table.AddRow({r.name, eval::Fmt(r.precision), eval::Fmt(r.recall),
+                  eval::FmtPercent(r.cost)});
+  }
+  std::printf("\nquality requirement: precision >= %.2f, recall >= %.2f, "
+              "confidence %.2f\n\n",
+              req.alpha, req.beta, req.theta);
+  table.Print();
+  std::printf(
+      "\nOn hard product workloads the monotonicity-only BASE bounds can\n"
+      "stop the recall walk early (matches hide among low-similarity\n"
+      "pairs, so a window of human labels may read zero matches while\n"
+      "thousands of pairs below still hide a few) — the sampling-based\n"
+      "optimizers bound that tail explicitly, which is the paper's case\n"
+      "for SAMP/HYBR on workloads like Abt-Buy.\n");
+  return 0;
+}

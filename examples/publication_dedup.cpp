@@ -1,0 +1,109 @@
+// Publication deduplication, end to end at the record level.
+//
+// Mirrors the paper's DBLP-Scholar scenario: a small curated bibliography
+// is matched against a large crawled one. This example exercises the whole
+// wrangling pipeline the pair-level simulators skip: attribute similarity
+// functions (Jaccard on title/authors, Jaro-Winkler on venue), weights from
+// distinct-value counts, threshold blocking, then HUMO with quality
+// guarantees.
+
+#include <cstdio>
+
+#include "humo.h"
+
+int main() {
+  using namespace humo;
+
+  // ---- Generate two bibliographic tables over one entity universe. ----
+  data::PublicationGeneratorOptions gen;
+  gen.num_curated = 300;
+  gen.num_crawled = 3000;
+  gen.duplicate_fraction = 0.3;
+  gen.seed = 42;
+  const auto tables = data::GeneratePublications(gen);
+  std::printf("curated table: %zu records; crawled table: %zu records\n",
+              tables.curated.size(), tables.crawled.size());
+
+  // ---- Attribute similarity with distinct-count weights (paper §VIII-A).
+  std::vector<std::vector<std::string>> all_records;
+  for (const auto& r : tables.curated.records())
+    all_records.push_back(r.attributes);
+  for (const auto& r : tables.crawled.records())
+    all_records.push_back(r.attributes);
+  const auto weights =
+      text::AggregatedSimilarity::WeightsFromDistinctCounts(all_records, 3);
+  std::printf("attribute weights (distinct counts): title=%.0f authors=%.0f "
+              "venue=%.0f\n",
+              weights[0], weights[1], weights[2]);
+
+  std::vector<text::AttributeSpec> specs;
+  specs.push_back({"title",
+                   [](std::string_view a, std::string_view b) {
+                     return text::JaccardSimilarity(a, b);
+                   },
+                   weights[0]});
+  specs.push_back({"authors",
+                   [](std::string_view a, std::string_view b) {
+                     return text::JaccardSimilarity(a, b);
+                   },
+                   weights[1]});
+  specs.push_back({"venue",
+                   [](std::string_view a, std::string_view b) {
+                     return text::JaroWinklerSimilarity(a, b);
+                   },
+                   weights[2]});
+  const text::AggregatedSimilarity sim(std::move(specs));
+
+  // ---- Blocking: keep candidate pairs with similarity >= 0.1. ----
+  const auto scorer = [&sim](const data::Record& a, const data::Record& b) {
+    return sim(a.attributes, b.attributes);
+  };
+  const data::Workload workload =
+      data::ThresholdBlock(tables.curated, tables.crawled, scorer, 0.1);
+  const auto stats =
+      data::ComputeBlockingStats(tables.curated, tables.crawled, workload);
+  std::printf("blocking: %zu candidate pairs (reduction %.1f%%, "
+              "completeness %.1f%%)\n",
+              stats.candidate_pairs, 100.0 * stats.ReductionRatio(),
+              100.0 * stats.PairCompleteness());
+
+  // ---- HUMO: enforce precision and recall 0.9 at confidence 0.9. ----
+  core::SubsetPartition partition(&workload, 100);
+  core::Oracle oracle(&workload);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  core::HybridOptimizer optimizer;
+  auto solution = optimizer.Optimize(partition, req, &oracle);
+  if (!solution.ok()) {
+    std::fprintf(stderr, "optimization failed: %s\n",
+                 solution.status().ToString().c_str());
+    return 1;
+  }
+  const auto result = core::ApplySolution(partition, *solution, &oracle);
+  const auto quality = eval::QualityOf(workload, result.labels);
+
+  std::printf("\n%s\n", core::DescribeSolution(partition, *solution).c_str());
+  std::printf("precision %.4f | recall %.4f | F1 %.4f\n", quality.precision,
+              quality.recall, quality.f1);
+  std::printf("human inspected %zu of %zu pairs (%.2f%%)\n",
+              result.human_cost, workload.size(),
+              100.0 * result.human_cost_fraction);
+
+  // ---- Contrast with the machine-only SVM reference (Table I role). ----
+  ml::Dataset dataset;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    dataset.Add({workload[i].similarity}, workload[i].is_match ? 1 : 0);
+  }
+  Rng rng(7);
+  const auto split = ml::SplitDataset(dataset, 0.5, &rng);
+  ml::SvmOptions svm_options;
+  svm_options.positive_weight = 10.0;
+  const auto svm = ml::LinearSvm::Train(split.train, svm_options);
+  std::vector<int> preds;
+  for (const auto& f : split.test.features) preds.push_back(svm.Predict(f));
+  const auto svm_metrics = ml::EvaluateLabels(preds, split.test.labels);
+  std::printf("\nmachine-only SVM reference: precision %.3f recall %.3f "
+              "F1 %.3f (no guarantees, zero human cost)\n",
+              svm_metrics.precision(), svm_metrics.recall(),
+              svm_metrics.f1());
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace humo {
+
+int CsvDocument::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+Result<CsvDocument> CsvReader::Parse(std::string_view text,
+                                     bool has_header) const {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool record_has_data = false;
+
+  auto end_field = [&]() {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+    record_has_data = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      record_has_data = true;
+    } else if (c == separator_) {
+      end_field();
+      record_has_data = true;
+    } else if (c == '\r') {
+      // swallow; \r\n handled at \n
+    } else if (c == '\n') {
+      if (record_has_data || field_started || !current.empty() ||
+          !field.empty()) {
+        end_record();
+      }
+      // empty line: skip silently
+    } else {
+      field.push_back(c);
+      field_started = true;
+      record_has_data = true;
+    }
+  }
+  if (in_quotes)
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  if (record_has_data || !field.empty() || !current.empty()) end_record();
+
+  CsvDocument doc;
+  size_t start = 0;
+  if (has_header && !records.empty()) {
+    doc.header = std::move(records[0]);
+    start = 1;
+  }
+  const size_t width = has_header && !doc.header.empty()
+                           ? doc.header.size()
+                           : (records.size() > start ? records[start].size() : 0);
+  for (size_t r = start; r < records.size(); ++r) {
+    if (width != 0 && records[r].size() != width) {
+      return Status::InvalidArgument(
+          StrFormat("CSV row %zu has %zu fields, expected %zu", r,
+                    records[r].size(), width));
+    }
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+Result<CsvDocument> CsvReader::ReadFile(const std::string& path,
+                                        bool has_header) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str(), has_header);
+}
+
+std::string CsvWriter::EncodeField(std::string_view f) const {
+  bool needs_quotes = f.find_first_of("\"\n\r") != std::string_view::npos ||
+                      f.find(separator_) != std::string_view::npos;
+  if (!needs_quotes) return std::string(f);
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvWriter::Serialize(const CsvDocument& doc) const {
+  std::string out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(separator_);
+      out += EncodeField(row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!doc.header.empty()) write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path,
+                            const CsvDocument& doc) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open file for write: " + path);
+  out << Serialize(doc);
+  return out ? Status::OK() : Status::IoError("short write: " + path);
+}
+
+}  // namespace humo

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace humo {
+
+/// A parsed CSV document: a header row plus data rows, all as strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Returns the column index for `name`, or -1 if absent.
+  int ColumnIndex(std::string_view name) const;
+};
+
+/// RFC-4180-style CSV parsing: quoted fields, embedded separators, escaped
+/// quotes ("") and embedded newlines inside quoted fields are supported.
+class CsvReader {
+ public:
+  explicit CsvReader(char separator = ',') : separator_(separator) {}
+
+  /// Parses an in-memory CSV payload. When `has_header` is true the first
+  /// record becomes `header`, otherwise header is left empty.
+  Result<CsvDocument> Parse(std::string_view text, bool has_header = true) const;
+
+  /// Reads and parses a file from disk.
+  Result<CsvDocument> ReadFile(const std::string& path,
+                               bool has_header = true) const;
+
+ private:
+  char separator_;
+};
+
+/// Serializes rows into CSV text, quoting fields when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char separator = ',') : separator_(separator) {}
+
+  std::string Serialize(const CsvDocument& doc) const;
+
+  Status WriteFile(const std::string& path, const CsvDocument& doc) const;
+
+ private:
+  std::string EncodeField(std::string_view field) const;
+  char separator_;
+};
+
+}  // namespace humo

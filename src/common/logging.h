@@ -1,0 +1,40 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace humo {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum severity; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction (RocksDB-style macro
+/// backend). Not thread-safe across interleaved writes to the same stream,
+/// which is acceptable for this single-threaded research library.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace humo
+
+#define HUMO_LOG(level) \
+  ::humo::internal::LogMessage(::humo::LogLevel::k##level, __FILE__, __LINE__)

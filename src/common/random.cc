@@ -1,0 +1,107 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace humo {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return u * mul;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates on an index vector; O(n) memory, O(n + k) time.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(NextBelow(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace humo

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace humo {
+
+/// Result<T> holds either a value of type T or an error Status. It is the
+/// return type of fallible functions that produce a value (Arrow idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status (error). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ present
+};
+
+}  // namespace humo
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define HUMO_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto HUMO_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!HUMO_CONCAT_(_res_, __LINE__).ok())        \
+    return HUMO_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(HUMO_CONCAT_(_res_, __LINE__)).value()
+
+#define HUMO_CONCAT_IMPL_(a, b) a##b
+#define HUMO_CONCAT_(a, b) HUMO_CONCAT_IMPL_(a, b)

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace humo {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace humo

@@ -1,0 +1,119 @@
+#include "core/all_sampling_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/distributions.h"
+#include "stats/stratified.h"
+
+namespace humo::core {
+namespace {
+
+/// Prefix-summed stratified estimates: O(1) range queries over subsets.
+/// Strata are independent, so means / variances / degrees of freedom all
+/// add across a range.
+class StratifiedRanges {
+ public:
+  explicit StratifiedRanges(const std::vector<stats::Stratum>& strata) {
+    const size_t m = strata.size();
+    mean_.assign(m + 1, 0.0);
+    var_.assign(m + 1, 0.0);
+    df_.assign(m + 1, 0.0);
+    pop_.assign(m + 1, 0.0);
+    for (size_t k = 0; k < m; ++k) {
+      const auto& st = strata[k];
+      const double n = static_cast<double>(st.population);
+      const double v = st.proportion_variance();
+      mean_[k + 1] = mean_[k] + n * st.proportion();
+      var_[k + 1] = var_[k] + n * n * v;
+      df_[k + 1] = df_[k] + ((!st.fully_enumerated() && st.sample_size >= 2 &&
+                              v > 0.0)
+                                 ? static_cast<double>(st.sample_size - 1)
+                                 : 0.0);
+      pop_[k + 1] = pop_[k] + n;
+    }
+  }
+
+  stats::StratifiedEstimate Range(size_t a, size_t b) const {
+    stats::StratifiedEstimate est;
+    if (a > b || b + 1 >= mean_.size() + 1) return est;
+    est.total_mean = mean_[b + 1] - mean_[a];
+    est.total_stddev = std::sqrt(std::max(0.0, var_[b + 1] - var_[a]));
+    est.degrees_of_freedom = df_[b + 1] - df_[a];
+    est.population = static_cast<size_t>(pop_[b + 1] - pop_[a]);
+    return est;
+  }
+
+ private:
+  std::vector<double> mean_, var_, df_, pop_;
+};
+
+}  // namespace
+
+Result<HumoSolution> AllSamplingOptimizer::Optimize(
+    const SubsetPartition& partition, const QualityRequirement& req,
+    Oracle* oracle) const {
+  if (oracle == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const size_t m = partition.num_subsets();
+  if (m == 0) return Status::InvalidArgument("empty workload");
+  if (options_.samples_per_subset == 0)
+    return Status::InvalidArgument("samples_per_subset must be positive");
+
+  // Phase 1: sample every subset.
+  Rng rng(options_.seed);
+  std::vector<stats::Stratum> strata(m);
+  for (size_t k = 0; k < m; ++k) {
+    const Subset& s = partition[k];
+    const size_t take = std::min(options_.samples_per_subset, s.size());
+    const auto picks = rng.SampleWithoutReplacement(s.size(), take);
+    stats::Stratum st;
+    st.population = s.size();
+    st.sample_size = take;
+    for (size_t off : picks)
+      st.sample_positives += oracle->Label(s.begin + off);
+    strata[k] = st;
+  }
+  StratifiedRanges ranges(strata);
+  const double conf = std::sqrt(req.theta);
+
+  // Phase 2a: maximal lower bound i satisfying the recall condition
+  //   beta <= lb(n+[i, m-1]) / (ub(n+[0, i-1]) + lb(n+[i, m-1])).
+  auto recall_ok = [&](size_t i) {
+    const double lb_keep = ranges.Range(i, m - 1).LowerBound(conf);
+    const double ub_lost =
+        i == 0 ? 0.0 : ranges.Range(0, i - 1).UpperBound(conf);
+    const double denom = ub_lost + lb_keep;
+    if (denom <= 0.0) return true;  // nothing estimated lost: recall 1
+    return req.beta <= lb_keep / denom;
+  };
+  size_t i = 0;
+  while (i + 1 < m && recall_ok(i + 1)) ++i;
+
+  // Phase 2b: minimal upper bound j >= i satisfying the precision condition
+  //   alpha <= (lb(n+[i,j]) + lb(n+[j+1,m-1])) / (lb(n+[i,j]) + n[j+1,m-1]).
+  auto precision_ok = [&](size_t j) {
+    if (j + 1 >= m) return true;  // D+ empty: precision 1 after human pass
+    const double lb_dh = ranges.Range(i, j).LowerBound(conf);
+    const double lb_dplus = ranges.Range(j + 1, m - 1).LowerBound(conf);
+    const double n_dplus =
+        static_cast<double>(partition.PairsInRange(j + 1, m - 1));
+    const double denom = lb_dh + n_dplus;
+    if (denom <= 0.0) return true;
+    return req.alpha <= (lb_dh + lb_dplus) / denom;
+  };
+  size_t j = m - 1;
+  while (j > i && precision_ok(j - 1)) --j;
+
+  HumoSolution sol;
+  sol.h_lo = i;
+  sol.h_hi = j;
+  sol.empty = false;
+  return sol;
+}
+
+}  // namespace humo::core

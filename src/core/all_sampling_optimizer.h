@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/oracle.h"
+#include "core/partition.h"
+#include "core/solution.h"
+
+namespace humo::core {
+
+/// Options of the all-sampling search (§VI-A).
+struct AllSamplingOptions {
+  /// Pairs sampled (and human-labeled) per subset.
+  size_t samples_per_subset = 20;
+  uint64_t seed = 5;
+};
+
+/// SAMP (all-sampling variant): samples every unit subset, then finds DH's
+/// lower bound as the maximal subset index satisfying the recall condition
+/// (Eq. 13) and its upper bound as the minimal index satisfying the
+/// precision condition (Eq. 14). Error margins come from stratified random
+/// sampling with Student-t critical values at confidence sqrt(theta) per
+/// independent bound (Eq. 12), so each quality requirement holds with
+/// confidence theta (Theorem 2).
+///
+/// The human cost of sampling every subset is what motivates the
+/// partial-sampling variant; this implementation backs the
+/// all-vs-partial ablation bench.
+class AllSamplingOptimizer {
+ public:
+  explicit AllSamplingOptimizer(AllSamplingOptions options = {})
+      : options_(options) {}
+
+  Result<HumoSolution> Optimize(const SubsetPartition& partition,
+                                const QualityRequirement& req,
+                                Oracle* oracle) const;
+
+ private:
+  AllSamplingOptions options_;
+};
+
+}  // namespace humo::core

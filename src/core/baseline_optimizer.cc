@@ -1,0 +1,158 @@
+#include "core/baseline_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace humo::core {
+namespace {
+
+/// Labels every pair of subset `k` through the oracle and returns the number
+/// of matches found.
+size_t LabelSubset(const SubsetPartition& partition, size_t k,
+                   Oracle* oracle) {
+  size_t matches = 0;
+  const Subset& s = partition[k];
+  for (size_t i = s.begin; i < s.end; ++i) matches += oracle->Label(i);
+  return matches;
+}
+
+}  // namespace
+
+Result<HumoSolution> BaselineOptimizer::Optimize(
+    const SubsetPartition& partition, const QualityRequirement& req,
+    Oracle* oracle) const {
+  if (oracle == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const size_t m = partition.num_subsets();
+  if (m == 0) return Status::InvalidArgument("empty workload");
+  if (options_.window_subsets == 0)
+    return Status::InvalidArgument("window_subsets must be positive");
+
+  // Start at the subset containing the midpoint similarity value (or the
+  // user-provided start).
+  size_t start;
+  if (options_.start_subset == BaselineOptions::kAutoStart) {
+    const auto& workload = partition.workload();
+    const double mid = 0.5 * (workload[0].similarity +
+                              workload[workload.size() - 1].similarity);
+    start = m / 2;
+    for (size_t k = 0; k < m; ++k) {
+      if (partition[k].avg_similarity >= mid) {
+        start = k;
+        break;
+      }
+    }
+  } else {
+    start = std::min(options_.start_subset, m - 1);
+  }
+
+  // DH = [lo, hi] inclusive; per-subset observed match counts are cached as
+  // DH grows. All DH pairs get human labels, so R(DH) is known exactly.
+  size_t lo = start, hi = start;
+  std::vector<size_t> subset_matches(m, 0);
+  subset_matches[start] = LabelSubset(partition, start, oracle);
+  size_t dh_matches = subset_matches[start];
+  size_t dh_pairs = partition[start].size();
+
+  bool precision_fixed = (hi + 1 >= m);  // no D+ -> precision constraint vacuous
+  bool recall_fixed = (lo == 0);         // no D- -> recall constraint vacuous
+
+  // Observed proportion of the `window` most recent subsets on one side.
+  const size_t w = options_.window_subsets;
+  auto upper_window_proportion = [&](size_t hi_now) {
+    size_t pairs = 0, matches = 0;
+    for (size_t k = hi_now; k + 1 > lo && pairs < w * partition.subset_size();
+         --k) {
+      pairs += partition[k].size();
+      matches += subset_matches[k];
+      if (k == lo || k == hi_now + 1 - w) break;
+    }
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(matches) / static_cast<double>(pairs);
+  };
+  auto lower_window_proportion = [&](size_t lo_now) {
+    size_t pairs = 0, matches = 0;
+    for (size_t k = lo_now; k <= hi && pairs < w * partition.subset_size();
+         ++k) {
+      pairs += partition[k].size();
+      matches += subset_matches[k];
+      if (k + 1 == lo_now + w) break;
+    }
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(matches) / static_cast<double>(pairs);
+  };
+
+  // Eq. 7: upper bound freezes when R(I+) >= (alpha*|D+| - (1-alpha)*
+  //        R(DH)*|DH|) / |D+|.
+  auto precision_satisfied = [&]() {
+    if (hi + 1 >= m) return true;  // D+ empty
+    const double d_plus =
+        static_cast<double>(partition.PairsInRange(hi + 1, m - 1));
+    const double r_dh_weighted = static_cast<double>(dh_matches);
+    const double threshold =
+        (req.alpha * d_plus - (1.0 - req.alpha) * r_dh_weighted) / d_plus;
+    return upper_window_proportion(hi) >= threshold;
+  };
+
+  // Eq. 9: lower bound freezes when R(I-) <= (1-beta)(|DH| R(DH) +
+  //        |D+| R(I+)) / (beta |D-|).
+  auto recall_satisfied = [&]() {
+    if (lo == 0) return true;  // D- empty
+    const double d_minus =
+        static_cast<double>(partition.PairsInRange(0, lo - 1));
+    const double d_plus_matches =
+        hi + 1 >= m ? 0.0
+                    : static_cast<double>(partition.PairsInRange(hi + 1, m - 1)) *
+                          upper_window_proportion(hi);
+    const double labeled_matches =
+        static_cast<double>(dh_matches) + d_plus_matches;
+    const double threshold =
+        (1.0 - req.beta) * labeled_matches / (req.beta * d_minus);
+    return lower_window_proportion(lo) <= threshold;
+  };
+
+  precision_fixed = precision_fixed || precision_satisfied();
+  recall_fixed = recall_fixed || recall_satisfied();
+
+  // Alternate extension until both constraints hold.
+  while (!precision_fixed || !recall_fixed) {
+    bool moved = false;
+    if (!precision_fixed) {
+      if (hi + 1 < m) {
+        ++hi;
+        subset_matches[hi] = LabelSubset(partition, hi, oracle);
+        dh_matches += subset_matches[hi];
+        dh_pairs += partition[hi].size();
+        moved = true;
+      }
+      precision_fixed = (hi + 1 >= m) || precision_satisfied();
+    }
+    if (!recall_fixed) {
+      if (lo > 0) {
+        --lo;
+        subset_matches[lo] = LabelSubset(partition, lo, oracle);
+        dh_matches += subset_matches[lo];
+        dh_pairs += partition[lo].size();
+        moved = true;
+      }
+      recall_fixed = (lo == 0) || recall_satisfied();
+      // Extending DH downward changes |DH| R(DH); re-check precision with
+      // the frozen upper bound (it can only improve, per §V, but verify
+      // defensively when it was satisfied by threshold rather than
+      // vacuously).
+      if (precision_fixed && hi + 1 < m && !precision_satisfied()) {
+        precision_fixed = false;
+      }
+    }
+    if (!moved) break;  // both bounds at the extremes
+  }
+
+  HumoSolution sol;
+  sol.h_lo = lo;
+  sol.h_hi = hi;
+  sol.empty = false;
+  (void)dh_pairs;
+  return sol;
+}
+
+}  // namespace humo::core

@@ -1,0 +1,107 @@
+#include "core/budgeted_resolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace humo::core {
+namespace {
+
+size_t LabelSubset(const SubsetPartition& partition, size_t k,
+                   Oracle* oracle) {
+  size_t matches = 0;
+  const Subset& s = partition[k];
+  for (size_t i = s.begin; i < s.end; ++i) matches += oracle->Label(i);
+  return matches;
+}
+
+}  // namespace
+
+Result<HumoSolution> BudgetedResolver::Resolve(const SubsetPartition& partition,
+                                               size_t label_budget,
+                                               Oracle* oracle) const {
+  if (oracle == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const size_t m = partition.num_subsets();
+  if (m == 0) return Status::InvalidArgument("empty workload");
+
+  // Seed at the subset containing the midpoint similarity (the transition
+  // region, where automatic labels are least reliable).
+  const auto& workload = partition.workload();
+  const double mid_sim = 0.5 * (workload[0].similarity +
+                                workload[workload.size() - 1].similarity);
+  size_t start = m / 2;
+  for (size_t k = 0; k < m; ++k) {
+    if (partition[k].avg_similarity >= mid_sim) {
+      start = k;
+      break;
+    }
+  }
+
+  std::vector<size_t> subset_matches(m, 0);
+  size_t lo = start, hi = start;
+  if (label_budget < partition[start].size()) {
+    // Budget cannot even cover the seed subset: machine-only labeling
+    // split at the midpoint.
+    HumoSolution sol;
+    sol.empty = true;
+    sol.h_lo = start;
+    return sol;
+  }
+  subset_matches[start] = LabelSubset(partition, start, oracle);
+
+  const size_t w = options_.window_subsets;
+  // Error density of extending downward: pairs below are auto-unmatch, so
+  // each match in the frontier window below would be an error. Upward:
+  // pairs above are auto-match, so each unmatch up there is an error.
+  auto lower_error_density = [&]() {
+    size_t pairs = 0, matches = 0;
+    size_t taken = 0;
+    for (size_t k = lo; k <= hi && taken < w; ++k, ++taken) {
+      pairs += partition[k].size();
+      matches += subset_matches[k];
+    }
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(matches) / static_cast<double>(pairs);
+  };
+  auto upper_error_density = [&]() {
+    size_t pairs = 0, unmatches = 0;
+    size_t taken = 0;
+    for (size_t k = hi;; --k) {
+      pairs += partition[k].size();
+      unmatches += partition[k].size() - subset_matches[k];
+      ++taken;
+      if (k == lo || taken == w) break;
+    }
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(unmatches) /
+                            static_cast<double>(pairs);
+  };
+
+  while (oracle->cost() < label_budget && (lo > 0 || hi + 1 < m)) {
+    const bool can_down = lo > 0;
+    const bool can_up = hi + 1 < m;
+    bool go_down;
+    if (can_down && can_up) {
+      go_down = lower_error_density() >= upper_error_density();
+    } else {
+      go_down = can_down;
+    }
+    const size_t next = go_down ? lo - 1 : hi + 1;
+    if (oracle->cost() + partition[next].size() > label_budget) break;
+    if (go_down) {
+      --lo;
+      subset_matches[lo] = LabelSubset(partition, lo, oracle);
+    } else {
+      ++hi;
+      subset_matches[hi] = LabelSubset(partition, hi, oracle);
+    }
+  }
+
+  HumoSolution sol;
+  sol.h_lo = lo;
+  sol.h_hi = hi;
+  sol.empty = false;
+  return sol;
+}
+
+}  // namespace humo::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/oracle.h"
+#include "core/partition.h"
+#include "core/solution.h"
+
+namespace humo::core {
+
+/// The pay-as-you-go / progressive paradigm the paper contrasts in §II
+/// (Whang et al., Altowim et al.): instead of HUMO's "minimize human cost
+/// subject to a quality contract", the progressive setting fixes a
+/// resolution BUDGET up front and maximizes result quality within it.
+///
+/// This resolver is HUMO's inverse: given a budget of human labels, it
+/// spends them where they pay the most. It seeds at the similarity-support
+/// midpoint (the transition region) and alternately extends the verified
+/// zone toward whichever side currently shows the higher labeling-error
+/// density in its frontier window — the side where automatic labels are
+/// wrong most often — until the budget is exhausted. Everything below the
+/// verified zone is auto-unmatch, everything above auto-match.
+///
+/// It carries NO quality guarantee (the paper's point): the bench harness
+/// contrasts budget->quality curves against HUMO's quality->cost curves.
+struct BudgetedOptions {
+  /// Frontier window (in subsets) used to estimate each side's current
+  /// error density.
+  size_t window_subsets = 3;
+};
+
+class BudgetedResolver {
+ public:
+  explicit BudgetedResolver(BudgetedOptions options = {})
+      : options_(options) {}
+
+  /// Spends up to `label_budget` oracle labels; returns the verified zone
+  /// as a HumoSolution (apply with ApplySolution, which will not exceed the
+  /// budget because every DH pair is already labeled and cached).
+  Result<HumoSolution> Resolve(const SubsetPartition& partition,
+                               size_t label_budget, Oracle* oracle) const;
+
+ private:
+  BudgetedOptions options_;
+};
+
+}  // namespace humo::core

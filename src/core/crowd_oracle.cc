@@ -1,0 +1,69 @@
+#include "core/crowd_oracle.h"
+
+#include <cassert>
+
+namespace humo::core {
+namespace {
+
+/// Stable per-(seed, index, worker) unit draw so verdicts are reproducible
+/// and re-queries cannot change history.
+double HashToUnit(uint64_t seed, uint64_t index, uint64_t worker) {
+  uint64_t z = seed ^ (index * 0x9E3779B97F4A7C15ULL) ^
+               (worker * 0xBF58476D1CE4E5B9ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+CrowdOracle::CrowdOracle(const data::Workload* workload, CrowdOptions options)
+    : workload_(workload), options_(options) {
+  assert(workload_ != nullptr);
+  assert(options_.workers_per_pair % 2 == 1 &&
+         "majority vote needs an odd worker count");
+  assert(options_.worker_error_rate >= 0.0 &&
+         options_.worker_error_rate <= 1.0);
+}
+
+bool CrowdOracle::Label(size_t index) {
+  assert(index < workload_->size());
+  const auto it = verdicts_.find(index);
+  if (it != verdicts_.end()) return it->second;
+
+  const bool truth = (*workload_)[index].is_match;
+  size_t votes_match = 0;
+  for (size_t w = 0; w < options_.workers_per_pair; ++w) {
+    bool answer = truth;
+    if (HashToUnit(options_.seed, index, w) < options_.worker_error_rate) {
+      answer = !answer;
+    }
+    votes_match += answer;
+  }
+  worker_answers_ += options_.workers_per_pair;
+  const bool verdict = votes_match * 2 > options_.workers_per_pair;
+  if (verdict != truth) ++wrong_verdicts_;
+  verdicts_.emplace(index, verdict);
+  return verdict;
+}
+
+double CrowdOracle::CostFraction() const {
+  if (workload_->size() == 0) return 0.0;
+  return static_cast<double>(worker_answers_) /
+         static_cast<double>(workload_->size());
+}
+
+double CrowdOracle::VerdictErrorRate() const {
+  if (verdicts_.empty()) return 0.0;
+  return static_cast<double>(wrong_verdicts_) /
+         static_cast<double>(verdicts_.size());
+}
+
+void CrowdOracle::Reset() {
+  verdicts_.clear();
+  worker_answers_ = 0;
+  wrong_verdicts_ = 0;
+}
+
+}  // namespace humo::core

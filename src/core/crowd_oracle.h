@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "data/workload.h"
+
+namespace humo::core {
+
+/// Configuration of the simulated crowdsourcing workforce.
+struct CrowdOptions {
+  /// Odd number of workers asked per pair (majority vote).
+  size_t workers_per_pair = 3;
+  /// Each worker independently answers wrong with this probability.
+  double worker_error_rate = 0.1;
+  uint64_t seed = 123;
+};
+
+/// Crowdsourced human verification (the paper's §IX future-work direction):
+/// instead of one perfect expert, each pair is judged by `workers_per_pair`
+/// error-prone workers and resolved by majority vote. Cost is counted in
+/// WORKER ANSWERS (the monetary unit of crowdsourcing platforms), not
+/// distinct pairs — the accounting §IX calls more appropriate for crowds.
+///
+/// With per-worker error e and 2t+1 workers, the majority verdict errs with
+/// probability sum_{j>t} C(2t+1,j) e^j (1-e)^(2t+1-j) — e.g. e=0.1 with 3
+/// workers gives 2.8% verdict error, with 5 workers 0.86%.
+class CrowdOracle {
+ public:
+  CrowdOracle(const data::Workload* workload, CrowdOptions options = {});
+
+  /// Majority verdict for pair `index`; repeat queries return the cached
+  /// verdict without re-asking the crowd.
+  bool Label(size_t index);
+
+  /// Total worker answers purchased.
+  size_t worker_answers() const { return worker_answers_; }
+
+  /// Distinct pairs adjudicated.
+  size_t pairs_adjudicated() const { return verdicts_.size(); }
+
+  /// Worker answers divided by workload size: the crowd-cost analogue of
+  /// the paper's psi.
+  double CostFraction() const;
+
+  /// Fraction of adjudicated pairs whose verdict disagrees with the ground
+  /// truth (observable in simulation only; used by tests and benches).
+  double VerdictErrorRate() const;
+
+  void Reset();
+
+ private:
+  const data::Workload* workload_;
+  CrowdOptions options_;
+  std::unordered_map<size_t, bool> verdicts_;
+  size_t worker_answers_ = 0;
+  size_t wrong_verdicts_ = 0;
+};
+
+}  // namespace humo::core

@@ -1,0 +1,188 @@
+#include "core/gp_subset_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace humo::core {
+
+GpSubsetModel::GpSubsetModel(gp::GpRegression gp,
+                             std::vector<double> avg_similarity,
+                             std::vector<double> subset_sizes,
+                             std::vector<SubsetObservation> observations,
+                             std::vector<double> scatter_variance,
+                             double variance_inflation)
+    : gp_(std::move(gp)),
+      v_(std::move(avg_similarity)),
+      n_(std::move(subset_sizes)),
+      obs_(std::move(observations)),
+      scatter_(std::move(scatter_variance)),
+      variance_inflation_(variance_inflation) {
+  assert(v_.size() == n_.size());
+  assert(obs_.empty() || obs_.size() == v_.size());
+  assert(scatter_.empty() || scatter_.size() == v_.size());
+  assert(variance_inflation_ >= 1.0);
+  const size_t m = v_.size();
+  mean_.resize(m);
+  w_.resize(m);
+  pop_prefix_.assign(m + 1, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    if (IsExact(k)) {
+      mean_[k] = obs_[k].proportion;
+    } else {
+      const auto pred = gp_.Predict(v_[k]);
+      mean_[k] = std::clamp(pred.mean, 0.0, 1.0);
+    }
+    w_[k] = gp_.WhitenedCross(v_[k]);
+    pop_prefix_[k + 1] = pop_prefix_[k] + n_[k];
+  }
+}
+
+double GpSubsetModel::PriorK(size_t a, size_t b) const {
+  return gp_.kernel()(v_[a], v_[b]);
+}
+
+double GpSubsetModel::PopulationInRange(size_t a, size_t b) const {
+  if (a > b || b >= v_.size()) return 0.0;
+  return pop_prefix_[b + 1] - pop_prefix_[a];
+}
+
+GpRangeAccumulator::GpRangeAccumulator(const GpSubsetModel* model)
+    : model_(model) {
+  assert(model_ != nullptr);
+  const size_t dim =
+      model_->num_subsets() > 0 ? model_->W(0).size() : size_t{0};
+  w_sum_.assign(dim, 0.0);
+}
+
+void GpRangeAccumulator::Clear() {
+  empty_ = true;
+  a_ = b_ = 0;
+  mean_sum_ = 0.0;
+  prior_q_ = 0.0;
+  scatter_sum_ = 0.0;
+  pop_sum_ = 0.0;
+  std::fill(w_sum_.begin(), w_sum_.end(), 0.0);
+}
+
+void GpRangeAccumulator::SetRange(size_t a, size_t b) {
+  Clear();
+  if (a > b || b >= model_->num_subsets()) return;
+  empty_ = false;
+  a_ = a;
+  b_ = a;
+  AddSubset(a);
+  while (b_ < b) ExtendRight();
+}
+
+void GpRangeAccumulator::AddSubset(size_t k) {
+  const double nk = model_->SubsetSize(k);
+  mean_sum_ += nk * model_->PosteriorMean(k);
+  pop_sum_ += nk;
+  if (model_->IsExact(k)) return;  // exact counts carry no uncertainty
+  // Prior double-sum update: cross terms against the current non-exact
+  // members plus the self term. Membership is exactly [a_, b_] minus k
+  // itself when k is being appended (caller has already updated a_/b_ to
+  // include k).
+  double cross = 0.0;
+  for (size_t j = a_; j <= b_; ++j) {
+    if (j == k || model_->IsExact(j)) continue;
+    cross += model_->SubsetSize(j) * model_->PriorK(k, j);
+  }
+  prior_q_ += 2.0 * nk * cross + nk * nk * model_->PriorK(k, k);
+  const auto& wk = model_->W(k);
+  for (size_t i = 0; i < w_sum_.size(); ++i) w_sum_[i] += nk * wk[i];
+  scatter_sum_ += nk * nk * model_->ScatterVariance(k);
+}
+
+void GpRangeAccumulator::RemoveSubset(size_t k) {
+  const double nk = model_->SubsetSize(k);
+  mean_sum_ -= nk * model_->PosteriorMean(k);
+  pop_sum_ -= nk;
+  if (model_->IsExact(k)) return;
+  // Membership still includes k at call time; subtract cross terms against
+  // the remaining non-exact members.
+  double cross = 0.0;
+  for (size_t j = a_; j <= b_; ++j) {
+    if (j == k || model_->IsExact(j)) continue;
+    cross += model_->SubsetSize(j) * model_->PriorK(k, j);
+  }
+  prior_q_ -= 2.0 * nk * cross + nk * nk * model_->PriorK(k, k);
+  const auto& wk = model_->W(k);
+  for (size_t i = 0; i < w_sum_.size(); ++i) w_sum_[i] -= nk * wk[i];
+  scatter_sum_ -= nk * nk * model_->ScatterVariance(k);
+}
+
+void GpRangeAccumulator::ExtendRight() {
+  if (empty_) {
+    SetRange(0, 0);
+    return;
+  }
+  assert(b_ + 1 < model_->num_subsets());
+  ++b_;
+  AddSubset(b_);
+}
+
+void GpRangeAccumulator::ExtendLeft() {
+  if (empty_) {
+    SetRange(model_->num_subsets() - 1, model_->num_subsets() - 1);
+    return;
+  }
+  assert(a_ > 0);
+  --a_;
+  AddSubset(a_);
+}
+
+void GpRangeAccumulator::ShrinkLeft() {
+  assert(!empty_);
+  if (a_ == b_) {
+    Clear();
+    return;
+  }
+  const size_t k = a_;
+  RemoveSubset(k);
+  ++a_;
+}
+
+void GpRangeAccumulator::ShrinkRight() {
+  assert(!empty_);
+  if (a_ == b_) {
+    Clear();
+    return;
+  }
+  const size_t k = b_;
+  RemoveSubset(k);
+  --b_;
+}
+
+double GpRangeAccumulator::TotalMean() const {
+  if (empty_) return 0.0;
+  return std::clamp(mean_sum_, 0.0, pop_sum_);
+}
+
+double GpRangeAccumulator::TotalStdDev() const {
+  if (empty_) return 0.0;
+  double dot = 0.0;
+  for (double x : w_sum_) dot += x * x;
+  const double gp_var = std::max(0.0, prior_q_ - dot);
+  const double var = model_->variance_inflation() * gp_var + scatter_sum_;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double GpRangeAccumulator::LowerBound(double confidence) const {
+  if (empty_) return 0.0;
+  const double z = stats::NormalTwoSidedCritical(confidence);
+  return std::max(0.0, TotalMean() - z * TotalStdDev());
+}
+
+double GpRangeAccumulator::UpperBound(double confidence) const {
+  if (empty_) return 0.0;
+  const double z = stats::NormalTwoSidedCritical(confidence);
+  return std::min(pop_sum_, TotalMean() + z * TotalStdDev());
+}
+
+double GpRangeAccumulator::Population() const { return empty_ ? 0.0 : pop_sum_; }
+
+}  // namespace humo::core

@@ -1,0 +1,169 @@
+#include "core/hybrid_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace humo::core {
+namespace {
+
+size_t LabelSubset(const SubsetPartition& partition, size_t k,
+                   Oracle* oracle) {
+  size_t matches = 0;
+  const Subset& s = partition[k];
+  for (size_t i = s.begin; i < s.end; ++i) matches += oracle->Label(i);
+  return matches;
+}
+
+}  // namespace
+
+Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
+                                               const QualityRequirement& req,
+                                               Oracle* oracle) const {
+  if (oracle == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const size_t m = partition.num_subsets();
+  if (m == 0) return Status::InvalidArgument("empty workload");
+  if (options_.window_subsets == 0)
+    return Status::InvalidArgument("window_subsets must be positive");
+
+  // ---- Step 1: initial partial-sampling solution S0. ----
+  PartialSamplingOptimizer samp(options_.sampling);
+  HUMO_ASSIGN_OR_RETURN(PartialSamplingOutcome s0,
+                        samp.OptimizeDetailed(partition, req, oracle));
+  const size_t i0 = s0.solution.h_lo;
+  const size_t j0 = s0.solution.h_hi;
+  const double conf = std::sqrt(req.theta);
+  // Same discretization-guard margin the sampling search applies: DH moves
+  // in whole subsets, so certify a hair above the target.
+  const double alpha =
+      std::min(1.0, req.alpha + options_.sampling.quality_margin);
+  const double beta =
+      std::min(1.0, req.beta + options_.sampling.quality_margin);
+
+  // ---- Step 2: re-extend DH from the median subset of [i0, j0]. ----
+  const size_t mid = i0 + (j0 - i0) / 2;
+  size_t lo = mid, hi = mid;
+  std::vector<size_t> subset_matches(m, 0);
+  subset_matches[mid] = LabelSubset(partition, mid, oracle);
+  size_t dh_matches = subset_matches[mid];
+
+  // GP accumulators for D+ = [hi+1, m-1] and D- = [0, lo-1].
+  GpRangeAccumulator dplus(s0.model.get()), dminus(s0.model.get());
+  if (hi + 1 < m) dplus.SetRange(hi + 1, m - 1);
+  if (lo > 0) dminus.SetRange(0, lo - 1);
+
+  const size_t w = options_.window_subsets;
+  auto upper_window_proportion = [&]() {
+    size_t pairs = 0, matches = 0;
+    size_t taken = 0;
+    for (size_t k = hi;; --k) {
+      pairs += partition[k].size();
+      matches += subset_matches[k];
+      ++taken;
+      if (k == lo || taken == w) break;
+    }
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(matches) / static_cast<double>(pairs);
+  };
+  auto lower_window_proportion = [&]() {
+    size_t pairs = 0, matches = 0;
+    size_t taken = 0;
+    for (size_t k = lo; k <= hi; ++k) {
+      pairs += partition[k].size();
+      matches += subset_matches[k];
+      ++taken;
+      if (taken == w) break;
+    }
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(matches) / static_cast<double>(pairs);
+  };
+
+  // Precision check with exact DH knowledge (every DH subset is labeled):
+  //   precision >= (dh_matches + lb(n+_{D+})) / (dh_matches + |D+|).
+  // The D+ match-count lower bound is the better (larger) of:
+  //   BASE:  |D+| * R(I+ window)     (monotonicity of precision)
+  //   SAMP:  GP posterior lower bound at confidence sqrt(theta).
+  auto precision_ok = [&]() {
+    if (hi + 1 >= m) return true;  // D+ empty
+    const double n_dp = static_cast<double>(partition.PairsInRange(hi + 1, m - 1));
+    const double lb_base = n_dp * upper_window_proportion();
+    const double lb_samp = dplus.LowerBound(conf);
+    const double lb = std::max(lb_base, lb_samp);
+    const double dh = static_cast<double>(dh_matches);
+    const double denom = dh + n_dp;
+    if (denom <= 0.0) return true;
+    return alpha <= (dh + lb) / denom;
+  };
+
+  // Recall check:
+  //   recall >= (dh_matches + lb(n+_{D+})) /
+  //             (dh_matches + lb(n+_{D+}) + ub(n+_{D-})),
+  // with the D- upper bound the better (smaller) of BASE's monotone window
+  // bound and SAMP's GP bound.
+  auto recall_ok = [&]() {
+    if (lo == 0) return true;  // D- empty
+    const double n_dm = static_cast<double>(partition.PairsInRange(0, lo - 1));
+    const double ub_base = n_dm * lower_window_proportion();
+    const double ub_samp = dminus.UpperBound(conf);
+    const double ub = std::min(ub_base, ub_samp);
+    const double n_dp_lb =
+        hi + 1 >= m
+            ? 0.0
+            : std::max(dplus.LowerBound(conf),
+                       static_cast<double>(partition.PairsInRange(hi + 1, m - 1)) *
+                           upper_window_proportion());
+    const double found = static_cast<double>(dh_matches) + n_dp_lb;
+    const double denom = found + ub;
+    if (denom <= 0.0) return true;
+    return beta <= found / denom;
+  };
+
+  bool precision_fixed = precision_ok();
+  bool recall_fixed = recall_ok();
+
+  // ---- Step 3: alternate extension, never exceeding [i0, j0]. ----
+  while (!precision_fixed || !recall_fixed) {
+    bool moved = false;
+    if (!precision_fixed) {
+      if (hi < j0) {
+        ++hi;
+        subset_matches[hi] = LabelSubset(partition, hi, oracle);
+        dh_matches += subset_matches[hi];
+        dplus.ShrinkLeft();  // subset hi moved from D+ into DH
+        moved = true;
+        precision_fixed = precision_ok();
+      } else {
+        // At S0's upper bound: S0 certified precision with DH up to j0.
+        precision_fixed = true;
+      }
+    }
+    if (!recall_fixed) {
+      if (lo > i0) {
+        --lo;
+        subset_matches[lo] = LabelSubset(partition, lo, oracle);
+        dh_matches += subset_matches[lo];
+        dminus.ShrinkRight();  // subset lo moved from D- into DH
+        moved = true;
+        recall_fixed = recall_ok();
+      } else {
+        recall_fixed = true;
+      }
+      // Growing DH can only help precision, but re-verify when it was
+      // accepted by a threshold estimate.
+      if (precision_fixed && hi < j0 && !precision_ok()) {
+        precision_fixed = false;
+      }
+    }
+    if (!moved) break;
+  }
+
+  HumoSolution sol;
+  sol.h_lo = lo;
+  sol.h_hi = hi;
+  sol.empty = false;
+  return sol;
+}
+
+}  // namespace humo::core

@@ -1,0 +1,41 @@
+#include "core/machine_metric.h"
+
+#include <cassert>
+
+namespace humo::core {
+
+data::Workload RescoreByMatchProbability(const data::Workload& workload,
+                                         const ml::LogisticRegression& model,
+                                         const PairFeatureFn& features) {
+  std::vector<data::InstancePair> pairs;
+  pairs.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    data::InstancePair p = workload[i];
+    p.similarity = model.PredictProbability(features(workload[i]));
+    pairs.push_back(p);
+  }
+  return data::Workload(std::move(pairs));
+}
+
+data::Workload RescoreBySvmDistance(const data::Workload& workload,
+                                    const ml::LinearSvm& model,
+                                    const PairFeatureFn& features,
+                                    double scale) {
+  assert(scale > 0.0);
+  std::vector<data::InstancePair> pairs;
+  pairs.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    data::InstancePair p = workload[i];
+    p.similarity = ml::Sigmoid(model.Distance(features(workload[i])) / scale);
+    pairs.push_back(p);
+  }
+  return data::Workload(std::move(pairs));
+}
+
+PairFeatureFn SimilarityFeature() {
+  return [](const data::InstancePair& p) {
+    return ml::FeatureVector{p.similarity};
+  };
+}
+
+}  // namespace humo::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+
+#include "data/workload.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+
+namespace humo::core {
+
+/// §IV-A: HUMO works with any machine metric under which the workload
+/// statistically satisfies monotonicity of precision — pair similarity,
+/// match probability, or SVM distance. These adapters re-score a workload's
+/// pairs with an alternative metric (mapped into [0,1]) so the same
+/// partition/optimizer pipeline runs unchanged on top of it.
+///
+/// The feature extractor maps a pair to the model's feature vector; for
+/// pair-level workloads the single similarity feature is the common case.
+using PairFeatureFn =
+    std::function<ml::FeatureVector(const data::InstancePair&)>;
+
+/// Returns a copy of the workload rescored by the logistic model's match
+/// probability (already in [0,1]); pairs are re-sorted by the new metric.
+data::Workload RescoreByMatchProbability(const data::Workload& workload,
+                                         const ml::LogisticRegression& model,
+                                         const PairFeatureFn& features);
+
+/// Returns a copy of the workload rescored by the SVM's signed distance to
+/// the separating plane, squashed into [0,1] with a logistic link
+/// (sigma(distance / scale)); pairs are re-sorted by the new metric.
+data::Workload RescoreBySvmDistance(const data::Workload& workload,
+                                    const ml::LinearSvm& model,
+                                    const PairFeatureFn& features,
+                                    double scale = 1.0);
+
+/// Convenience feature extractor: the pair's similarity as the single
+/// feature.
+PairFeatureFn SimilarityFeature();
+
+}  // namespace humo::core

@@ -1,0 +1,47 @@
+#include "core/oracle.h"
+
+#include <cassert>
+
+namespace humo::core {
+namespace {
+
+/// Deterministic per-(seed, index) hash -> [0,1) double, so error injection
+/// is stable across repeat queries.
+double HashToUnit(uint64_t seed, uint64_t index) {
+  uint64_t z = seed ^ (index * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Oracle::Oracle(const data::Workload* workload, double error_rate,
+               uint64_t seed)
+    : workload_(workload), error_rate_(error_rate), seed_(seed) {
+  assert(workload_ != nullptr);
+  assert(error_rate_ >= 0.0 && error_rate_ <= 1.0);
+}
+
+bool Oracle::Label(size_t index) {
+  assert(index < workload_->size());
+  const auto it = answers_.find(index);
+  if (it != answers_.end()) return it->second;
+  bool truth = (*workload_)[index].is_match;
+  if (error_rate_ > 0.0 &&
+      HashToUnit(seed_, static_cast<uint64_t>(index)) < error_rate_) {
+    truth = !truth;
+  }
+  answers_.emplace(index, truth);
+  return truth;
+}
+
+double Oracle::CostFraction() const {
+  if (workload_->size() == 0) return 0.0;
+  return static_cast<double>(cost()) / static_cast<double>(workload_->size());
+}
+
+void Oracle::Reset() { answers_.clear(); }
+
+}  // namespace humo::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "data/workload.h"
+
+namespace humo::core {
+
+/// Simulated human verifier over a workload's hidden ground truth.
+///
+/// The paper's protocol (§VIII-A): "the ground-truth labels are originally
+/// hidden; whenever manual verification is called for, they are provided to
+/// the program". The oracle is the only path through which optimizers may
+/// observe labels, and it accounts for human cost as the number of DISTINCT
+/// pairs inspected (repeat queries on the same pair are free — the answer is
+/// already known).
+///
+/// An optional error rate models imperfect humans (§IV discusses that HUMO's
+/// guarantees then degrade to what the human achieves on DH): each pair's
+/// answer is flipped with probability `error_rate`, deterministically per
+/// pair (asking twice cannot fix a wrong answer).
+class Oracle {
+ public:
+  explicit Oracle(const data::Workload* workload, double error_rate = 0.0,
+                  uint64_t seed = 99);
+
+  /// Human-labels pair `index`; returns true when labeled match.
+  bool Label(size_t index);
+
+  /// Number of distinct pairs inspected so far (the paper's human-cost
+  /// metric).
+  size_t cost() const { return answers_.size(); }
+
+  /// Cost as a fraction of the workload (the psi of Tables V/VI).
+  double CostFraction() const;
+
+  /// True if the pair was already inspected.
+  bool WasAsked(size_t index) const { return answers_.count(index) > 0; }
+
+  /// Forgets all answers and resets the cost counter.
+  void Reset();
+
+  const data::Workload& workload() const { return *workload_; }
+
+ private:
+  const data::Workload* workload_;
+  double error_rate_;
+  uint64_t seed_;
+  std::unordered_map<size_t, bool> answers_;
+};
+
+}  // namespace humo::core

@@ -1,0 +1,430 @@
+#include "core/partial_sampling_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+#include "common/random.h"
+
+namespace humo::core {
+namespace {
+
+/// Samples `take` pairs of subset k through the oracle and fills a stratum.
+stats::Stratum SampleSubset(const SubsetPartition& partition, size_t k,
+                            size_t take, Rng* rng, Oracle* oracle) {
+  const Subset& s = partition[k];
+  take = std::min(take, s.size());
+  stats::Stratum st;
+  st.population = s.size();
+  st.sample_size = take;
+  const auto picks = rng->SampleWithoutReplacement(s.size(), take);
+  for (size_t off : picks) st.sample_positives += oracle->Label(s.begin + off);
+  return st;
+}
+
+/// Leave-one-out calibration of the fitted GP: for each sampled subset,
+/// predict its observed proportion from the other samples and compare the
+/// squared residual to the LOO predictive variance. The mean standardized
+/// squared residual is 1 for a perfectly calibrated model; larger values
+/// mean the GP misses its own pins by more than its posterior admits —
+/// typically in convex onset regions of sparse match tails — and every
+/// range bound should be widened accordingly. Uses the closed form
+///   r_k = alpha_k / (K^-1)_kk,   var_k = 1 / (K^-1)_kk
+/// with K the noisy training Gram matrix.
+double LooVarianceInflation(const gp::GpRegression& gp,
+                            const SubsetPartition& partition,
+                            const std::vector<stats::Stratum>& strata,
+                            const std::vector<size_t>& train,
+                            const PartialSamplingOptions& options,
+                            double scatter_variance) {
+  const size_t k = train.size();
+  if (k < 4) return 1.0;
+  std::vector<double> xs(k), ys(k);
+  for (size_t t = 0; t < k; ++t) {
+    xs[t] = partition[train[t]].avg_similarity;
+    ys[t] = strata[train[t]].proportion();
+  }
+  double y_mean = 0.0;
+  for (double y : ys) y_mean += y;
+  y_mean /= static_cast<double>(k);
+
+  linalg::Matrix gram = gp.kernel().GramSymmetric(xs);
+  gram.AddToDiagonal(options.gp_noise_floor);
+  for (size_t t = 0; t < k; ++t) {
+    gram(t, t) +=
+        strata[train[t]].proportion_variance() + scatter_variance;
+  }
+  auto chol = linalg::Cholesky::Factor(gram);
+  if (!chol.ok()) return 1.0;
+  linalg::Vector centered(k);
+  for (size_t t = 0; t < k; ++t) centered[t] = ys[t] - y_mean;
+  const linalg::Vector alpha = chol->Solve(centered);
+  const linalg::Matrix inv = chol->Solve(linalg::Matrix::Identity(k));
+
+  std::vector<double> standardized;
+  standardized.reserve(k);
+  for (size_t t = 0; t < k; ++t) {
+    const double precision = inv(t, t);
+    if (precision <= 0.0) continue;
+    const double residual = alpha[t] / precision;  // y_t - loo_mean_t
+    const double var = 1.0 / precision;            // loo predictive variance
+    standardized.push_back(residual * residual / var);
+  }
+  if (standardized.size() < 4) return 1.0;
+  // Median of chi^2_1 is ~0.455; the ratio is ~1 for a calibrated model.
+  // The median resists a handful of honestly-noisy transition pins while
+  // still catching systematic misfit that spans many pins (the sparse-tail
+  // onset pathology).
+  std::nth_element(standardized.begin(),
+                   standardized.begin() + standardized.size() / 2,
+                   standardized.end());
+  const double med = standardized[standardized.size() / 2];
+  return std::clamp(med / 0.455, 1.0, 25.0);
+}
+
+/// Robust estimate of the independent per-subset scatter variance (the
+/// sigma^2 of the paper's synthetic generator) from the sampled subsets'
+/// observed proportions: second differences of consecutive observations
+/// cancel the smooth latent trend, and the median over triples resists the
+/// transition band's genuine curvature. For a pure second difference of
+/// i.i.d. N(0, s^2) scatter, Var(d) = 6 s^2 and median(d^2) ~ 0.455 * 6 s^2.
+double EstimateScatterVariance(const SubsetPartition& partition,
+                               const std::vector<stats::Stratum>& strata,
+                               const std::vector<size_t>& train) {
+  if (train.size() < 4) return 0.0;
+  std::vector<double> d2;
+  for (size_t t = 1; t + 1 < train.size(); ++t) {
+    const double y0 = strata[train[t - 1]].proportion();
+    const double y1 = strata[train[t]].proportion();
+    const double y2 = strata[train[t + 1]].proportion();
+    (void)partition;
+    const double d = y2 - 2.0 * y1 + y0;
+    d2.push_back(d * d);
+  }
+  std::nth_element(d2.begin(), d2.begin() + d2.size() / 2, d2.end());
+  const double med = d2[d2.size() / 2];
+  const double var = med / (6.0 * 0.455);
+  return std::clamp(var, 0.0, 0.25);
+}
+
+/// Fits the GP on the sampled subsets, selecting hyperparameters by log
+/// marginal likelihood. Observation noise is the per-subset sampling
+/// variance plus a homoscedastic floor.
+///
+/// Candidate length scales are restricted to at least 1.5x the largest gap
+/// between adjacent sampled similarities: a shorter scale would interpolate
+/// the pins perfectly yet leave every subset inside a gap at full prior
+/// variance, which collapses the Eq. 13/14 lower bounds to zero and forces
+/// DH toward the whole workload.
+Result<gp::GpRegression> FitGp(
+    const SubsetPartition& partition, const std::vector<stats::Stratum>& strata,
+    const std::vector<size_t>& sampled_indices,
+    const PartialSamplingOptions& options, double scatter_variance = 0.0) {
+  std::vector<double> xs, ys, noise;
+  xs.reserve(sampled_indices.size());
+  for (size_t k : sampled_indices) {
+    xs.push_back(partition[k].avg_similarity);
+    ys.push_back(strata[k].proportion());
+    // Sampling variance of the observed proportion (zero for a fully
+    // enumerated subset — the pin is its exact count) plus the estimated
+    // inter-subset scatter. Treating pins this way reproduces the paper's
+    // aggregate-trusting bound behavior; the realization uncertainty of
+    // UNSAMPLED subsets is carried separately as independent per-subset
+    // scatter in the GpSubsetModel (see below), not as pin noise — pin
+    // noise would correlate through the latent function and multiply by
+    // the full population, making sparse-tail workloads like AB
+    // uncertifiable at any reasonable cost.
+    noise.push_back(strata[k].proportion_variance() + scatter_variance);
+  }
+  double max_gap = 0.0;
+  for (size_t t = 1; t < xs.size(); ++t)
+    max_gap = std::max(max_gap, xs[t] - xs[t - 1]);
+  const double min_length_scale = 1.5 * max_gap;
+  std::vector<gp::GpCandidate> grid;
+  double largest_l = 0.0;
+  for (const auto& cand : gp::DefaultGpGrid()) {
+    largest_l = std::max(largest_l, cand.length_scale);
+    if (cand.length_scale >= min_length_scale) grid.push_back(cand);
+  }
+  if (grid.empty()) {
+    // Gaps exceed every stock scale: fall back to scales proportional to
+    // the gap itself.
+    for (double sf2 : {0.01, 0.25, 1.0})
+      grid.push_back({sf2, min_length_scale});
+  }
+  gp::GpOptions gp_options;
+  gp_options.noise_variance = options.gp_noise_floor;
+  gp_options.center_mean = true;
+  return gp::SelectGpByMarginalLikelihood(xs, ys, grid, options.kernel_family,
+                                          gp_options, noise);
+}
+
+}  // namespace
+
+Result<HumoSolution> PartialSamplingOptimizer::Optimize(
+    const SubsetPartition& partition, const QualityRequirement& req,
+    Oracle* oracle) const {
+  HUMO_ASSIGN_OR_RETURN(PartialSamplingOutcome outcome,
+                        OptimizeDetailed(partition, req, oracle));
+  return outcome.solution;
+}
+
+Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
+    const SubsetPartition& partition, const QualityRequirement& req,
+    Oracle* oracle) const {
+  if (oracle == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const size_t m = partition.num_subsets();
+  if (m == 0) return Status::InvalidArgument("empty workload");
+  if (options_.samples_per_subset == 0)
+    return Status::InvalidArgument("samples_per_subset must be positive");
+  if (!(options_.sample_fraction_lo > 0.0 &&
+        options_.sample_fraction_lo <= options_.sample_fraction_hi))
+    return Status::InvalidArgument("invalid sampling fraction range");
+
+  Rng rng(options_.seed);
+  std::vector<stats::Stratum> strata(m);
+  std::vector<bool> sampled(m, false);
+  std::vector<size_t> train;  // sampled subset indices, kept sorted
+
+  // ---- Phase 1: Algorithm 1 (Gaussian regression of match proportion). ----
+  // Initial training set: j0 = max(4, m*p_l) subsets, placed half
+  // equidistantly by subset INDEX (covers the pair-dense similarity
+  // regions, where most of D lives) and half equidistantly by SIMILARITY
+  // (covers the sparse regions, where the match-proportion curve moves the
+  // fastest). Pure index placement starves the sparse transition band of
+  // pins; pure similarity placement starves the dense bulk.
+  size_t j0 = static_cast<size_t>(
+      std::ceil(static_cast<double>(m) * options_.sample_fraction_lo));
+  j0 = std::max<size_t>(std::min<size_t>(4, m), std::min(j0, m));
+  const size_t budget = std::max(
+      j0, static_cast<size_t>(std::floor(static_cast<double>(m) *
+                                         options_.sample_fraction_hi)));
+  auto take_subset = [&](size_t k) {
+    if (sampled[k]) return;
+    strata[k] =
+        SampleSubset(partition, k, options_.samples_per_subset, &rng, oracle);
+    sampled[k] = true;
+    train.insert(std::upper_bound(train.begin(), train.end(), k), k);
+  };
+  {
+    const size_t by_index = (j0 + 1) / 2;
+    for (size_t t = 0; t < by_index; ++t) {
+      take_subset(by_index == 1
+                      ? 0
+                      : static_cast<size_t>(std::llround(
+                            static_cast<double>(t) *
+                            static_cast<double>(m - 1) /
+                            static_cast<double>(by_index - 1))));
+    }
+    const double sim_lo = partition[0].avg_similarity;
+    const double sim_hi = partition[m - 1].avg_similarity;
+    size_t cursor = 0;
+    while (train.size() < j0 && sim_hi > sim_lo) {
+      // Next unsampled subset nearest the next equidistant similarity.
+      const double target =
+          sim_lo + (sim_hi - sim_lo) *
+                       (static_cast<double>(cursor) + 0.5) /
+                       static_cast<double>(j0);
+      ++cursor;
+      if (cursor > 2 * j0) break;
+      size_t best = m;
+      double best_dist = 1e300;
+      for (size_t k = 0; k < m; ++k) {
+        if (sampled[k]) continue;
+        const double d = std::fabs(partition[k].avg_similarity - target);
+        if (d < best_dist) {
+          best_dist = d;
+          best = k;
+        }
+      }
+      if (best < m) take_subset(best);
+    }
+  }
+
+  HUMO_ASSIGN_OR_RETURN(gp::GpRegression gp,
+                        FitGp(partition, strata, train, options_));
+
+  // Bracket refinement, processed in order of the GP's uncertainty about
+  // the bracket's midpoint (pairs-weighted posterior std). Algorithm 1 as
+  // printed pops brackets FIFO, but every tested midpoint costs a sampled
+  // subset even when the GP already agrees there; under a tight budget the
+  // flat brackets then exhaust it before the transition band is ever
+  // examined. Prioritizing by uncertainty keeps the epsilon test and the
+  // bisection structure while spending the budget where the GP is blind.
+  std::vector<std::pair<size_t, size_t>> brackets;
+  for (size_t t = 0; t + 1 < train.size(); ++t)
+    brackets.emplace_back(train[t], train[t + 1]);
+
+  while (!brackets.empty() && train.size() < budget) {
+    double best_score = -1.0;
+    size_t best_idx = brackets.size();
+    for (size_t bi = 0; bi < brackets.size(); ++bi) {
+      const auto [ia, ib] = brackets[bi];
+      if (ib - ia < 2) continue;
+      const size_t x = ia + (ib - ia) / 2;
+      const auto pred = gp.Predict(partition[x].avg_similarity);
+      const double score =
+          static_cast<double>(partition[x].size()) * pred.stddev();
+      if (score > best_score) {
+        best_score = score;
+        best_idx = bi;
+      }
+    }
+    if (best_idx >= brackets.size()) break;  // nothing refinable remains
+    const auto [ia, ib] = brackets[best_idx];
+    brackets.erase(brackets.begin() + static_cast<long>(best_idx));
+    const size_t x = ia + (ib - ia) / 2;
+    if (sampled[x]) continue;
+    const double predicted = gp.Predict(partition[x].avg_similarity).mean;
+    take_subset(x);
+    const double observed = strata[x].proportion();
+    if (std::fabs(predicted - observed) >= options_.error_threshold) {
+      brackets.emplace_back(ia, x);
+      brackets.emplace_back(x, ib);
+    }
+    HUMO_ASSIGN_OR_RETURN(gp, FitGp(partition, strata, train, options_));
+  }
+
+  // ---- Phase 1b: variance-targeted refinement (implementation extension;
+  // DESIGN.md §5). Algorithm 1's epsilon test only checks posterior MEANS at
+  // bracket midpoints; subsets whose posterior variance is large (pair-dense
+  // gaps, the transition band) can survive it and then dominate the Eq. 20
+  // aggregation. Spend any remaining sampling budget on the unsampled
+  // subset with the largest bound contribution n_k * std(k).
+  while (train.size() < budget) {
+    double best_score = 0.0;
+    size_t best_k = m;
+    for (size_t k = 0; k < m; ++k) {
+      if (sampled[k]) continue;
+      const auto pred = gp.Predict(partition[k].avg_similarity);
+      const double score =
+          static_cast<double>(partition[k].size()) * pred.stddev();
+      if (score > best_score) {
+        best_score = score;
+        best_k = k;
+      }
+    }
+    // Stop when no unsampled subset contributes meaningfully (under one
+    // pair's worth of uncertainty).
+    if (best_k >= m || best_score < 1.0) break;
+    strata[best_k] = SampleSubset(partition, best_k,
+                                  options_.samples_per_subset, &rng, oracle);
+    sampled[best_k] = true;
+    train.insert(std::upper_bound(train.begin(), train.end(), best_k),
+                 best_k);
+    HUMO_ASSIGN_OR_RETURN(gp, FitGp(partition, strata, train, options_));
+  }
+
+  // ---- Build the subset-level model. ----
+  const double scatter = EstimateScatterVariance(partition, strata, train);
+  if (scatter > 1e-6) {
+    // Refit with the scatter as observation noise so the latent curve does
+    // not chase per-subset irregularity (the scatter re-enters the bound
+    // computation as independent per-subset variance instead).
+    HUMO_ASSIGN_OR_RETURN(
+        gp, FitGp(partition, strata, train, options_, scatter));
+  }
+  std::vector<double> vs(m), ns(m);
+  std::vector<SubsetObservation> obs(m);
+  for (size_t k = 0; k < m; ++k) {
+    vs[k] = partition[k].avg_similarity;
+    ns[k] = static_cast<double>(partition[k].size());
+    if (sampled[k] && strata[k].fully_enumerated()) {
+      obs[k].exact = true;
+      obs[k].proportion = strata[k].proportion();
+    }
+  }
+  // Per-subset scatter: workload irregularity plus the binomial variance of
+  // the subset's realized count around the latent rate (smoothed so rate ~0
+  // still carries width).
+  std::vector<double> scatter_vec(m, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    if (obs[k].exact) continue;
+    const double nk = ns[k];
+    const double raw = std::clamp(gp.Predict(vs[k]).mean, 0.0, 1.0);
+    const double p = std::max(raw, 0.5 / nk);
+    scatter_vec[k] = scatter + p * (1.0 - p) / nk;
+  }
+  const double inflation = LooVarianceInflation(gp, partition, strata, train,
+                                                options_, scatter);
+  auto model = std::make_shared<GpSubsetModel>(
+      std::move(gp), std::move(vs), std::move(ns), std::move(obs),
+      std::move(scatter_vec), inflation);
+
+  // ---- Phase 2: bound search with GP confidence intervals. ----
+  const double conf = std::sqrt(req.theta);
+  const double alpha = std::min(1.0, req.alpha + options_.quality_margin);
+  const double beta = std::min(1.0, req.beta + options_.quality_margin);
+
+  // Recall: maximal i with beta <= lb([i,m-1]) / (ub([0,i-1]) + lb([i,m-1])).
+  // Incremental accumulators: keep = [i, m-1], lost = [0, i-1].
+  GpRangeAccumulator keep(model.get()), lost(model.get());
+  keep.SetRange(0, m - 1);
+  lost.Clear();
+  auto recall_ok = [&]() {
+    const double lb_keep = keep.LowerBound(conf);
+    const double ub_lost = lost.IsEmpty() ? 0.0 : lost.UpperBound(conf);
+    const double denom = ub_lost + lb_keep;
+    if (denom <= 0.0) return true;
+    return beta <= lb_keep / denom;
+  };
+  size_t i = 0;
+  while (i + 1 < m) {
+    // Tentatively move the lower bound right: subset i leaves "keep", joins
+    // "lost".
+    keep.ShrinkLeft();
+    if (lost.IsEmpty()) lost.SetRange(0, 0);
+    else lost.ExtendRight();
+    if (recall_ok()) {
+      ++i;
+    } else {
+      // Revert.
+      keep.ExtendLeft();
+      lost.ShrinkRight();
+      break;
+    }
+  }
+
+  // Precision: minimal j >= i with
+  //   alpha <= (lb([i,j]) + lb([j+1,m-1])) / (lb([i,j]) + n[j+1,m-1]).
+  GpRangeAccumulator dh(model.get()), dplus(model.get());
+  dh.SetRange(i, m - 1);
+  dplus.Clear();
+  auto precision_ok = [&]() {
+    if (dplus.IsEmpty()) return true;
+    const double lb_dh = dh.IsEmpty() ? 0.0 : dh.LowerBound(conf);
+    const double lb_dp = dplus.LowerBound(conf);
+    const double n_dp = dplus.Population();
+    const double denom = lb_dh + n_dp;
+    if (denom <= 0.0) return true;
+    return alpha <= (lb_dh + lb_dp) / denom;
+  };
+  size_t j = m - 1;
+  while (j > i) {
+    // Tentatively move the upper bound left: subset j leaves DH, joins D+.
+    dh.ShrinkRight();
+    if (dplus.IsEmpty()) dplus.SetRange(j, j);
+    else dplus.ExtendLeft();
+    if (precision_ok()) {
+      --j;
+    } else {
+      dh.ExtendRight();
+      dplus.ShrinkLeft();
+      break;
+    }
+  }
+
+  PartialSamplingOutcome outcome;
+  outcome.solution.h_lo = i;
+  outcome.solution.h_hi = j;
+  outcome.solution.empty = false;
+  outcome.model = std::move(model);
+  outcome.strata = std::move(strata);
+  outcome.sampled = std::move(sampled);
+  return outcome;
+}
+
+}  // namespace humo::core

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gp_subset_model.h"
+#include "core/oracle.h"
+#include "core/partition.h"
+#include "core/solution.h"
+#include "gp/gp_regression.h"
+#include "stats/stratified.h"
+
+namespace humo::core {
+
+/// Options of the partial-sampling search (§VI-B, Algorithm 1).
+struct PartialSamplingOptions {
+  /// Pairs sampled (and human-labeled) per sampled subset. The paper
+  /// measures sampling cost as "the proportion of sampled subsets among all
+  /// subsets", i.e. a sampled subset is fully inspected; the default of 200
+  /// (the paper's subset size) therefore enumerates sampled subsets
+  /// completely, pinning the GP with noise-free observations. Smaller values
+  /// trade sampling cost for wider GP error bars.
+  size_t samples_per_subset = 200;
+  /// Sampling-cost range [p_l, p_u]: fraction of subsets that may be
+  /// sampled (the paper uses [1%, 5%]). Defaults place most of the budget
+  /// in the equidistant initial pass ([4%, 6%]) because sparse initial
+  /// coverage leaves the GP posterior too uncertain over the hundreds of
+  /// unsampled subsets, inflating the Eq. 20 bounds and with them DH (see
+  /// bench_ablation_sampling_range for the sweep).
+  double sample_fraction_lo = 0.04;
+  double sample_fraction_hi = 0.06;
+  /// Error threshold epsilon of Algorithm 1: a midpoint subset whose
+  /// observed proportion deviates from the GP prediction by at least this
+  /// much triggers recursive refinement of its bracket.
+  double error_threshold = 0.05;
+  /// Kernel family for the GP fit; hyperparameters are selected on a small
+  /// grid by log marginal likelihood.
+  gp::KernelFamily kernel_family = gp::KernelFamily::kRbf;
+  /// Internal safety margin added to alpha and beta during the bound
+  /// search. DH moves in whole-subset steps, so the continuous Eq. 13/14
+  /// conditions can be satisfied by a solution whose true quality sits a
+  /// hair under the target (observed misses of ~0.001-0.002); the margin
+  /// absorbs that discretization error at negligible cost.
+  double quality_margin = 0.015;
+  /// Homoscedastic noise floor added on top of the per-subset sampling
+  /// variance. Kept tiny by default: fully-enumerated sampled subsets have
+  /// zero sampling variance, and an artificial floor of variance f inflates
+  /// every unsampled subset's posterior std by ~sqrt(f/2), which — summed
+  /// over hundreds of subsets in the Eq. 20 aggregation — dwarfs the real
+  /// uncertainty and balloons DH. Numerical conditioning is handled by the
+  /// Cholesky jitter, not this floor.
+  double gp_noise_floor = 1e-8;
+  uint64_t seed = 5;
+};
+
+/// Everything the hybrid approach needs from a partial-sampling run: the
+/// solution, the fitted subset-level GP model, and the raw per-subset
+/// sampling data.
+struct PartialSamplingOutcome {
+  HumoSolution solution;
+  std::shared_ptr<GpSubsetModel> model;
+  /// Per-subset sampling strata; unsampled subsets have sample_size == 0.
+  std::vector<stats::Stratum> strata;
+  /// Which subsets were sampled during Algorithm 1.
+  std::vector<bool> sampled;
+};
+
+/// SAMP (partial-sampling variant, the paper's default): Algorithm 1 trains
+/// a Gaussian-process regression of match proportion against subset
+/// similarity from a budgeted set of sampled subsets, then the bound search
+/// of §VI-A runs against GP-posterior confidence intervals (Eq. 19-21)
+/// instead of per-stratum ones.
+class PartialSamplingOptimizer {
+ public:
+  explicit PartialSamplingOptimizer(PartialSamplingOptions options = {})
+      : options_(options) {}
+
+  Result<HumoSolution> Optimize(const SubsetPartition& partition,
+                                const QualityRequirement& req,
+                                Oracle* oracle) const;
+
+  /// Like Optimize but also returns the fitted model and sampling data
+  /// (consumed by HybridOptimizer).
+  Result<PartialSamplingOutcome> OptimizeDetailed(
+      const SubsetPartition& partition, const QualityRequirement& req,
+      Oracle* oracle) const;
+
+  const PartialSamplingOptions& options() const { return options_; }
+
+ private:
+  PartialSamplingOptions options_;
+};
+
+}  // namespace humo::core

@@ -1,0 +1,50 @@
+#include "core/partition.h"
+
+#include <cassert>
+
+namespace humo::core {
+
+SubsetPartition::SubsetPartition(const data::Workload* workload,
+                                 size_t subset_size)
+    : workload_(workload), subset_size_(subset_size) {
+  assert(workload_ != nullptr);
+  assert(subset_size_ > 0);
+  const size_t n = workload_->size();
+  const size_t m = n / subset_size_;  // final subset absorbs remainder
+  subsets_.reserve(m > 0 ? m : 1);
+  if (n == 0) return;
+  if (m == 0) {
+    // Fewer pairs than one subset: single subset with everything.
+    Subset s{0, n, 0.0};
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) acc += (*workload_)[i].similarity;
+    s.avg_similarity = acc / static_cast<double>(n);
+    subsets_.push_back(s);
+    return;
+  }
+  for (size_t k = 0; k < m; ++k) {
+    Subset s;
+    s.begin = k * subset_size_;
+    s.end = (k + 1 == m) ? n : (k + 1) * subset_size_;
+    double acc = 0.0;
+    for (size_t i = s.begin; i < s.end; ++i)
+      acc += (*workload_)[i].similarity;
+    s.avg_similarity = acc / static_cast<double>(s.size());
+    subsets_.push_back(s);
+  }
+}
+
+size_t SubsetPartition::PairsInRange(size_t from, size_t to) const {
+  if (from > to || subsets_.empty()) return 0;
+  assert(to < subsets_.size());
+  return subsets_[to].end - subsets_[from].begin;
+}
+
+size_t SubsetPartition::SubsetOf(size_t pair_idx) const {
+  assert(pair_idx < workload_->size());
+  size_t k = pair_idx / subset_size_;
+  if (k >= subsets_.size()) k = subsets_.size() - 1;
+  return k;
+}
+
+}  // namespace humo::core

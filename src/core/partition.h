@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/workload.h"
+
+namespace humo::core {
+
+/// One unit subset D_k of the similarity-ordered workload: a half-open index
+/// range [begin, end) into the sorted pair array, plus its average
+/// similarity (the GP input v_k).
+struct Subset {
+  size_t begin = 0;
+  size_t end = 0;
+  double avg_similarity = 0.0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// Divides a similarity-sorted workload into consecutive subsets each
+/// holding `subset_size` pairs (the paper fixes 200); the final subset
+/// absorbs the remainder. This is the unit of movement for every optimizer.
+class SubsetPartition {
+ public:
+  SubsetPartition() = default;
+
+  /// `workload` must outlive the partition and be sorted by similarity.
+  SubsetPartition(const data::Workload* workload, size_t subset_size);
+
+  size_t num_subsets() const { return subsets_.size(); }
+  const Subset& operator[](size_t k) const { return subsets_[k]; }
+  const std::vector<Subset>& subsets() const { return subsets_; }
+  const data::Workload& workload() const { return *workload_; }
+  size_t subset_size() const { return subset_size_; }
+
+  /// Total pairs across subsets [from, to] inclusive; 0 when from > to.
+  size_t PairsInRange(size_t from, size_t to) const;
+
+  /// Index of the subset containing pair index `pair_idx`.
+  size_t SubsetOf(size_t pair_idx) const;
+
+ private:
+  const data::Workload* workload_ = nullptr;
+  size_t subset_size_ = 0;
+  std::vector<Subset> subsets_;
+};
+
+}  // namespace humo::core

@@ -1,0 +1,62 @@
+#include "core/solution.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace humo::core {
+
+ResolutionResult ApplySolution(const SubsetPartition& partition,
+                               const HumoSolution& solution, Oracle* oracle) {
+  assert(oracle != nullptr);
+  const auto& workload = partition.workload();
+  ResolutionResult result;
+  result.solution = solution;
+  result.labels.assign(workload.size(), 0);
+
+  if (workload.size() == 0) return result;
+
+  size_t first_human = 0, last_human = 0;
+  bool has_human = !solution.empty && partition.num_subsets() > 0;
+  size_t match_from;  // first pair index labeled match automatically
+  if (has_human) {
+    assert(solution.h_lo <= solution.h_hi);
+    assert(solution.h_hi < partition.num_subsets());
+    first_human = partition[solution.h_lo].begin;
+    last_human = partition[solution.h_hi].end;  // exclusive
+    match_from = last_human;
+  } else {
+    // Machine-only split at subset h_lo's begin.
+    match_from = partition.num_subsets() == 0
+                     ? 0
+                     : partition[std::min(solution.h_lo,
+                                          partition.num_subsets() - 1)]
+                           .begin;
+  }
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (has_human && i >= first_human && i < last_human) {
+      result.labels[i] = oracle->Label(i) ? 1 : 0;
+    } else if (i >= match_from) {
+      result.labels[i] = 1;
+    } else {
+      result.labels[i] = 0;
+    }
+  }
+  result.human_cost = oracle->cost();
+  result.human_cost_fraction = oracle->CostFraction();
+  return result;
+}
+
+std::string DescribeSolution(const SubsetPartition& partition,
+                             const HumoSolution& solution) {
+  if (solution.empty || partition.num_subsets() == 0) {
+    return "DH = empty (machine-only)";
+  }
+  const size_t pairs = partition.PairsInRange(solution.h_lo, solution.h_hi);
+  return StrFormat("DH = subsets [%zu, %zu] (%zu subsets, %zu pairs)",
+                   solution.h_lo, solution.h_hi, solution.NumHumanSubsets(),
+                   pairs);
+}
+
+}  // namespace humo::core

@@ -1,0 +1,137 @@
+#include "data/blocking.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace humo::data {
+
+Workload ThresholdBlock(const RecordTable& left, const RecordTable& right,
+                        const PairScorer& scorer, double threshold) {
+  Workload w;
+  for (const auto& l : left.records()) {
+    for (const auto& r : right.records()) {
+      const double sim = scorer(l, r);
+      if (sim >= threshold) {
+        w.Add({l.id, r.id, sim, l.entity_id == r.entity_id});
+      }
+    }
+  }
+  w.SortBySimilarity();
+  return w;
+}
+
+Workload TokenBlock(const RecordTable& left, const RecordTable& right,
+                    size_t attribute_index, const PairScorer& scorer,
+                    double threshold) {
+  // Inverted index over the right table's blocking attribute.
+  std::unordered_map<std::string, std::vector<size_t>> index;
+  for (size_t j = 0; j < right.size(); ++j) {
+    const auto tokens = text::WordTokens(
+        NormalizeForMatching(right[j].attributes[attribute_index]));
+    std::unordered_set<std::string> seen;
+    for (const auto& t : tokens) {
+      if (seen.insert(t).second) index[t].push_back(j);
+    }
+  }
+  Workload w;
+  for (size_t i = 0; i < left.size(); ++i) {
+    const auto tokens = text::WordTokens(
+        NormalizeForMatching(left[i].attributes[attribute_index]));
+    std::unordered_set<size_t> candidates;
+    std::unordered_set<std::string> seen;
+    for (const auto& t : tokens) {
+      if (!seen.insert(t).second) continue;
+      const auto it = index.find(t);
+      if (it == index.end()) continue;
+      candidates.insert(it->second.begin(), it->second.end());
+    }
+    for (size_t j : candidates) {
+      const double sim = scorer(left[i], right[j]);
+      if (sim >= threshold) {
+        w.Add({left[i].id, right[j].id, sim,
+               left[i].entity_id == right[j].entity_id});
+      }
+    }
+  }
+  w.SortBySimilarity();
+  return w;
+}
+
+Workload SortedNeighborhoodBlock(const RecordTable& left,
+                                 const RecordTable& right,
+                                 size_t attribute_index, size_t window,
+                                 const PairScorer& scorer, double threshold) {
+  // Merge both tables into one sorted sequence keyed by the normalized
+  // blocking attribute; remember table provenance for pairing.
+  struct Entry {
+    std::string key;
+    bool from_left;
+    size_t index;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(left.size() + right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    entries.push_back(
+        {NormalizeForMatching(left[i].attributes[attribute_index]), true, i});
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    entries.push_back(
+        {NormalizeForMatching(right[j].attributes[attribute_index]), false,
+         j});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+  Workload w;
+  std::unordered_set<uint64_t> seen;  // dedup (left_idx << 32 | right_idx)
+  for (size_t a = 0; a < entries.size(); ++a) {
+    const size_t end = std::min(entries.size(), a + window);
+    for (size_t b = a + 1; b < end; ++b) {
+      const Entry& ea = entries[a];
+      const Entry& eb = entries[b];
+      if (ea.from_left == eb.from_left) continue;  // cross-table pairs only
+      const Entry& l = ea.from_left ? ea : eb;
+      const Entry& r = ea.from_left ? eb : ea;
+      const uint64_t pair_key =
+          (static_cast<uint64_t>(l.index) << 32) | static_cast<uint64_t>(r.index);
+      if (!seen.insert(pair_key).second) continue;
+      const double sim = scorer(left[l.index], right[r.index]);
+      if (sim >= threshold) {
+        w.Add({left[l.index].id, right[r.index].id, sim,
+               left[l.index].entity_id == right[r.index].entity_id});
+      }
+    }
+  }
+  w.SortBySimilarity();
+  return w;
+}
+
+double BlockingStats::ReductionRatio() const {
+  if (total_possible_pairs == 0) return 0.0;
+  return 1.0 - static_cast<double>(candidate_pairs) /
+                   static_cast<double>(total_possible_pairs);
+}
+
+double BlockingStats::PairCompleteness() const {
+  if (true_matches_total == 0) return 1.0;
+  return static_cast<double>(true_matches_retained) /
+         static_cast<double>(true_matches_total);
+}
+
+BlockingStats ComputeBlockingStats(const RecordTable& left,
+                                   const RecordTable& right,
+                                   const Workload& blocked) {
+  BlockingStats s;
+  s.candidate_pairs = blocked.size();
+  s.total_possible_pairs = left.size() * right.size();
+  for (const auto& l : left.records())
+    for (const auto& r : right.records())
+      if (l.entity_id == r.entity_id) ++s.true_matches_total;
+  s.true_matches_retained = blocked.CountMatches();
+  return s;
+}
+
+}  // namespace humo::data

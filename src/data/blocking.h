@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "data/workload.h"
+
+namespace humo::data {
+
+/// Pair scorer: similarity of two records in [0,1].
+using PairScorer = std::function<double(const Record&, const Record&)>;
+
+/// Exhaustive cross-product scoring with a similarity-threshold filter —
+/// the blocking the paper applies (sim >= 0.2 on DS, >= 0.05 on AB).
+/// Quadratic; fine for generator-scale tables, and the token blocker below
+/// is the scalable path.
+Workload ThresholdBlock(const RecordTable& left, const RecordTable& right,
+                        const PairScorer& scorer, double threshold);
+
+/// Token-based blocking: candidate pairs must share at least one token in
+/// the chosen blocking attribute. Avoids the full cross product, then
+/// applies the same similarity threshold to the candidates.
+///
+/// `attribute_index` selects the blocking key column in both schemas.
+Workload TokenBlock(const RecordTable& left, const RecordTable& right,
+                    size_t attribute_index, const PairScorer& scorer,
+                    double threshold);
+
+/// Sorted-neighborhood blocking (Hernandez-Stolfo style): both tables'
+/// records are merged, sorted by a normalized blocking key extracted from
+/// `attribute_index`, and each record is compared only against the records
+/// inside a sliding window of the sorted order. Subquadratic; catches pairs
+/// that token blocking misses when keys share prefixes but no whole token.
+Workload SortedNeighborhoodBlock(const RecordTable& left,
+                                 const RecordTable& right,
+                                 size_t attribute_index, size_t window,
+                                 const PairScorer& scorer, double threshold);
+
+/// Statistics describing a blocking run (reduction ratio, pair completeness
+/// against ground truth) — the standard blocking-quality metrics.
+struct BlockingStats {
+  size_t candidate_pairs = 0;
+  size_t total_possible_pairs = 0;
+  size_t true_matches_total = 0;
+  size_t true_matches_retained = 0;
+
+  double ReductionRatio() const;
+  double PairCompleteness() const;
+};
+
+/// Computes blocking statistics for a workload produced from two tables.
+BlockingStats ComputeBlockingStats(const RecordTable& left,
+                                   const RecordTable& right,
+                                   const Workload& blocked);
+
+}  // namespace humo::data

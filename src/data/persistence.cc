@@ -1,0 +1,79 @@
+#include "data/persistence.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace humo::data {
+
+std::string WorkloadToCsv(const Workload& workload) {
+  CsvDocument doc;
+  doc.header = {"left_id", "right_id", "similarity", "label"};
+  doc.rows.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const auto& p = workload[i];
+    doc.rows.push_back({StrFormat("%u", p.left_id),
+                        StrFormat("%u", p.right_id),
+                        StrFormat("%.17g", p.similarity),
+                        p.is_match ? "1" : "0"});
+  }
+  return CsvWriter().Serialize(doc);
+}
+
+Result<Workload> WorkloadFromCsv(const std::string& text) {
+  HUMO_ASSIGN_OR_RETURN(CsvDocument doc, CsvReader().Parse(text));
+  const int li = doc.ColumnIndex("left_id");
+  const int ri = doc.ColumnIndex("right_id");
+  const int si = doc.ColumnIndex("similarity");
+  const int la = doc.ColumnIndex("label");
+  if (li < 0 || ri < 0 || si < 0 || la < 0) {
+    return Status::InvalidArgument(
+        "workload CSV needs columns left_id,right_id,similarity,label");
+  }
+  std::vector<InstancePair> pairs;
+  pairs.reserve(doc.rows.size());
+  for (size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    InstancePair p;
+    char* end = nullptr;
+    p.left_id = static_cast<uint32_t>(
+        std::strtoul(row[static_cast<size_t>(li)].c_str(), &end, 10));
+    p.right_id = static_cast<uint32_t>(
+        std::strtoul(row[static_cast<size_t>(ri)].c_str(), &end, 10));
+    p.similarity = std::strtod(row[static_cast<size_t>(si)].c_str(), &end);
+    if (p.similarity < 0.0 || p.similarity > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: similarity %.4f outside [0,1]", r,
+                    p.similarity));
+    }
+    const std::string& label = row[static_cast<size_t>(la)];
+    if (label != "0" && label != "1") {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: label must be 0 or 1, got '%s'", r,
+                    label.c_str()));
+    }
+    p.is_match = label == "1";
+    pairs.push_back(p);
+  }
+  return Workload(std::move(pairs));
+}
+
+Status SaveWorkloadCsv(const Workload& workload, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open file for write: " + path);
+  out << WorkloadToCsv(workload);
+  return out ? Status::OK() : Status::IoError("short write: " + path);
+}
+
+Result<Workload> LoadWorkloadCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return WorkloadFromCsv(ss.str());
+}
+
+}  // namespace humo::data

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "data/workload.h"
+
+namespace humo::data {
+
+/// CSV persistence for workloads: columns left_id,right_id,similarity,label.
+/// Ground-truth labels are stored so that saved workloads round-trip for
+/// experiments; a production deployment would omit the label column and let
+/// the oracle come from real human answers.
+Status SaveWorkloadCsv(const Workload& workload, const std::string& path);
+
+/// Loads a workload saved by SaveWorkloadCsv (or hand-authored with the
+/// same header). Pairs are re-sorted by similarity on load.
+Result<Workload> LoadWorkloadCsv(const std::string& path);
+
+/// In-memory variants (used by the file functions and directly testable).
+std::string WorkloadToCsv(const Workload& workload);
+Result<Workload> WorkloadFromCsv(const std::string& text);
+
+}  // namespace humo::data

@@ -1,0 +1,96 @@
+#include "data/perturbation.h"
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace humo::data {
+namespace {
+
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+
+std::string TypoChar(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  const size_t pos = static_cast<size_t>(rng->NextBelow(out.size()));
+  switch (rng->NextBelow(4)) {
+    case 0:  // substitute
+      out[pos] = kAlphabet[rng->NextBelow(26)];
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(out.begin() + static_cast<long>(pos),
+                 kAlphabet[rng->NextBelow(26)]);
+      break;
+    case 3:  // transpose with next char
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PerturbString(const std::string& value,
+                          const PerturbationOptions& options, Rng* rng) {
+  if (rng->NextBernoulli(options.missing_rate)) return "";
+
+  std::vector<std::string> tokens = SplitAny(value, " \t");
+  // Token-level operations first.
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (auto& tok : tokens) {
+    if (tokens.size() > 1 && rng->NextBernoulli(options.token_drop_rate))
+      continue;
+    if (tok.size() > 2 && rng->NextBernoulli(options.abbreviation_rate)) {
+      kept.push_back(std::string(1, tok[0]) + ".");
+      continue;
+    }
+    kept.push_back(std::move(tok));
+  }
+  if (kept.empty() && !tokens.empty()) kept.push_back(tokens[0]);
+  if (kept.size() >= 2 && rng->NextBernoulli(options.token_swap_rate)) {
+    const size_t i = static_cast<size_t>(rng->NextBelow(kept.size() - 1));
+    std::swap(kept[i], kept[i + 1]);
+  }
+  // Character-level typos, expected count = typo_rate * length.
+  std::string joined = Join(kept, " ");
+  size_t typos = 0;
+  for (size_t i = 0; i < joined.size(); ++i)
+    if (rng->NextBernoulli(options.typo_rate)) ++typos;
+  for (size_t i = 0; i < typos; ++i) joined = TypoChar(joined, rng);
+  return joined;
+}
+
+PerturbationOptions LightPerturbation() {
+  PerturbationOptions o;
+  o.typo_rate = 0.005;
+  o.token_drop_rate = 0.02;
+  o.abbreviation_rate = 0.02;
+  o.token_swap_rate = 0.02;
+  return o;
+}
+
+PerturbationOptions MediumPerturbation() {
+  PerturbationOptions o;
+  o.typo_rate = 0.02;
+  o.token_drop_rate = 0.08;
+  o.abbreviation_rate = 0.08;
+  o.token_swap_rate = 0.05;
+  return o;
+}
+
+PerturbationOptions HeavyPerturbation() {
+  PerturbationOptions o;
+  o.typo_rate = 0.05;
+  o.token_drop_rate = 0.25;
+  o.abbreviation_rate = 0.15;
+  o.token_swap_rate = 0.10;
+  o.missing_rate = 0.05;
+  return o;
+}
+
+}  // namespace humo::data

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "common/random.h"
+
+namespace humo::data {
+
+/// Knobs of the string perturbation model used to derive "dirty" duplicate
+/// records from clean ones. Probabilities are per-operation; the model
+/// applies them independently.
+struct PerturbationOptions {
+  /// Per-character probability of a typo (substitute / delete / insert /
+  /// transpose chosen uniformly).
+  double typo_rate = 0.02;
+  /// Probability of dropping each token.
+  double token_drop_rate = 0.05;
+  /// Probability of abbreviating each token to its first letter + '.'.
+  double abbreviation_rate = 0.05;
+  /// Probability of swapping two adjacent tokens once.
+  double token_swap_rate = 0.05;
+  /// Probability the whole value is replaced by the empty string
+  /// (missing data).
+  double missing_rate = 0.0;
+};
+
+/// Applies the perturbation model to a string. Deterministic under `rng`.
+std::string PerturbString(const std::string& value,
+                          const PerturbationOptions& options, Rng* rng);
+
+/// Severity presets: light (near duplicates), medium, heavy (hard
+/// duplicates that land in the low-similarity region).
+PerturbationOptions LightPerturbation();
+PerturbationOptions MediumPerturbation();
+PerturbationOptions HeavyPerturbation();
+
+}  // namespace humo::data

@@ -1,0 +1,131 @@
+#include "data/product_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/perturbation.h"
+
+namespace humo::data {
+namespace {
+
+const char* kBrands[] = {"acme",    "nordic",  "zenwave", "clearline",
+                         "voltcore", "lumina", "aerix",   "solido",
+                         "vexa",     "orbit",  "pinnacle", "kestrel"};
+
+const char* kCategories[] = {"speaker",   "headphones", "monitor",
+                             "keyboard",  "router",     "camera",
+                             "microwave", "blender",    "vacuum",
+                             "projector", "soundbar",   "printer"};
+
+const char* kAdjectives[] = {"wireless", "compact", "portable", "digital",
+                             "smart",    "premium", "ultra",    "pro"};
+
+const char* kFeatures[] = {
+    "bluetooth connectivity", "energy efficient design", "remote control",
+    "noise cancellation",     "fast charging",           "hd resolution",
+    "stainless steel finish", "voice assistant support", "wall mountable",
+    "multi room pairing",     "low latency mode",        "touch controls"};
+
+std::string MakeModelCode(Rng* rng) {
+  std::string code;
+  for (int i = 0; i < 2; ++i)
+    code.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+  code += StrFormat("%u", 100 + static_cast<unsigned>(rng->NextBelow(900)));
+  return code;
+}
+
+struct ProductSeed {
+  std::string brand, category, adjective, model;
+  double price;
+};
+
+ProductSeed MakeSeed(Rng* rng) {
+  ProductSeed s;
+  s.brand = kBrands[rng->NextBelow(std::size(kBrands))];
+  s.category = kCategories[rng->NextBelow(std::size(kCategories))];
+  s.adjective = kAdjectives[rng->NextBelow(std::size(kAdjectives))];
+  s.model = MakeModelCode(rng);
+  s.price = 20.0 + rng->NextDouble() * 480.0;
+  return s;
+}
+
+std::string TerseName(const ProductSeed& s) {
+  return s.brand + " " + s.category + " " + s.model;
+}
+
+std::string VerboseName(const ProductSeed& s, Rng* rng) {
+  // The verbose catalog injects the adjective and sometimes reorders.
+  if (rng->NextBernoulli(0.5))
+    return s.brand + " " + s.adjective + " " + s.category + " " + s.model;
+  return s.adjective + " " + s.category + " by " + s.brand + " model " +
+         s.model;
+}
+
+std::string MakeDescription(const ProductSeed& s, Rng* rng, bool verbose) {
+  const size_t n = verbose ? 3 + rng->NextBelow(3) : 1 + rng->NextBelow(2);
+  std::vector<std::string> parts;
+  parts.push_back(s.adjective + " " + s.category);
+  for (size_t i = 0; i < n; ++i)
+    parts.push_back(kFeatures[rng->NextBelow(std::size(kFeatures))]);
+  return Join(parts, verbose ? " with " : " ");
+}
+
+std::string FreshDescription(Rng* rng, bool verbose) {
+  const size_t n = verbose ? 3 + rng->NextBelow(3) : 1 + rng->NextBelow(2);
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < n; ++i)
+    parts.push_back(kFeatures[rng->NextBelow(std::size(kFeatures))]);
+  return Join(parts, verbose ? " and " : " ");
+}
+
+}  // namespace
+
+ProductTables GenerateProducts(const ProductGeneratorOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<std::string> schema = {"name", "description", "price"};
+  ProductTables out{RecordTable(schema), RecordTable(schema)};
+
+  std::vector<ProductSeed> seeds;
+  seeds.reserve(options.num_left);
+  for (size_t i = 0; i < options.num_left; ++i) seeds.push_back(MakeSeed(&rng));
+
+  for (size_t i = 0; i < options.num_left; ++i) {
+    Record r;
+    r.id = static_cast<uint32_t>(i);
+    r.entity_id = static_cast<uint32_t>(i);
+    r.attributes = {TerseName(seeds[i]), MakeDescription(seeds[i], &rng, false),
+                    StrFormat("%.2f", seeds[i].price)};
+    (void)out.left.Add(std::move(r));
+  }
+
+  uint32_t next_entity = static_cast<uint32_t>(options.num_left);
+  for (size_t i = 0; i < options.num_right; ++i) {
+    Record r;
+    r.id = static_cast<uint32_t>(i);
+    if (rng.NextBernoulli(options.overlap_fraction) && !seeds.empty()) {
+      const size_t k = static_cast<size_t>(rng.NextBelow(seeds.size()));
+      r.entity_id = static_cast<uint32_t>(k);
+      const bool rewritten = rng.NextBernoulli(options.rewrite_rate);
+      std::string name = VerboseName(seeds[k], &rng);
+      std::string desc = rewritten ? FreshDescription(&rng, true)
+                                   : MakeDescription(seeds[k], &rng, true);
+      // Mild noise on top (typos in listings).
+      name = PerturbString(name, LightPerturbation(), &rng);
+      desc = PerturbString(desc, LightPerturbation(), &rng);
+      const double price = seeds[k].price * rng.NextDouble(0.9, 1.1);
+      r.attributes = {std::move(name), std::move(desc),
+                      StrFormat("%.2f", price)};
+    } else {
+      const ProductSeed s = MakeSeed(&rng);
+      r.entity_id = next_entity++;
+      r.attributes = {VerboseName(s, &rng), MakeDescription(s, &rng, true),
+                      StrFormat("%.2f", s.price)};
+    }
+    (void)out.right.Add(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace humo::data

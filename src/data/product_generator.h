@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/record.h"
+
+namespace humo::data {
+
+/// Configuration of the Abt/Buy-style product-catalog generator. Two retail
+/// catalogs describe an overlapping set of products with divergent wording
+/// (one terse, one verbose), producing the harder, low-similarity-match
+/// workload shape of the paper's AB dataset.
+struct ProductGeneratorOptions {
+  /// Number of products in each catalog.
+  size_t num_left = 400;
+  size_t num_right = 400;
+  /// Fraction of right-catalog products that also exist in the left catalog.
+  double overlap_fraction = 0.35;
+  /// Probability a matching record rewrites its description entirely
+  /// (different marketing copy for the same item — the reason AB matches sit
+  /// at low similarity).
+  double rewrite_rate = 0.5;
+  uint64_t seed = 11;
+};
+
+/// Schema: {name, description, price}.
+struct ProductTables {
+  RecordTable left;   // Abt role (terse)
+  RecordTable right;  // Buy role (verbose)
+};
+
+ProductTables GenerateProducts(const ProductGeneratorOptions& options);
+
+}  // namespace humo::data

@@ -1,0 +1,123 @@
+#include "data/publication_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/perturbation.h"
+
+namespace humo::data {
+namespace {
+
+const char* kTopics[] = {
+    "entity resolution",   "query optimization",  "stream processing",
+    "graph analytics",     "data cleaning",       "index structures",
+    "transaction logging", "schema matching",     "record linkage",
+    "columnar storage",    "approximate queries", "crowdsourced labeling",
+    "distributed joins",   "cache management",    "workload forecasting",
+    "data provenance",     "spatial indexing",    "time series compression",
+    "adaptive sampling",   "log structured trees"};
+
+const char* kQualifiers[] = {"scalable",  "adaptive",    "incremental",
+                             "parallel",  "robust",      "efficient",
+                             "online",    "declarative", "probabilistic",
+                             "streaming", "federated",   "learned"};
+
+const char* kPatterns[] = {"a %s framework for %s", "%s %s revisited",
+                           "towards %s %s",         "on the %s evaluation of %s",
+                           "%s methods for %s",     "benchmarking %s %s"};
+
+const char* kFirstNames[] = {"wei",   "li",    "maria", "john",  "chen",
+                             "anna",  "david", "sara",  "paolo", "yuki",
+                             "ivan",  "lena",  "omar",  "priya", "tom",
+                             "rosa",  "hans",  "mina",  "carlos", "jane"};
+
+const char* kLastNames[] = {"zhang", "wang",   "smith", "garcia", "mueller",
+                            "tanaka", "kumar", "rossi", "novak",  "jones",
+                            "lee",    "brown", "silva", "petrov", "kim",
+                            "lopez",  "chen",  "davis", "haas",   "moreau"};
+
+const char* kVenues[] = {"intl conf on data engineering",
+                         "very large data bases journal",
+                         "symposium on management of data",
+                         "conf on information and knowledge mgmt",
+                         "intl conf on extending database technology",
+                         "journal of data quality",
+                         "workshop on web data integration",
+                         "trans on knowledge and data engineering"};
+
+std::string MakeTitle(Rng* rng) {
+  const char* pattern = kPatterns[rng->NextBelow(std::size(kPatterns))];
+  const char* qualifier = kQualifiers[rng->NextBelow(std::size(kQualifiers))];
+  const char* topic = kTopics[rng->NextBelow(std::size(kTopics))];
+  return StrFormat(pattern, qualifier, topic);
+}
+
+std::string MakeAuthors(Rng* rng) {
+  const size_t n = 1 + rng->NextBelow(4);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(
+        std::string(kFirstNames[rng->NextBelow(std::size(kFirstNames))]) +
+        " " + kLastNames[rng->NextBelow(std::size(kLastNames))]);
+  }
+  return Join(names, " and ");
+}
+
+PerturbationOptions PickSeverity(const PublicationGeneratorOptions& opt,
+                                 Rng* rng) {
+  const double roll = rng->NextDouble();
+  if (roll < opt.light_fraction) return LightPerturbation();
+  if (roll < opt.light_fraction + opt.medium_fraction)
+    return MediumPerturbation();
+  return HeavyPerturbation();
+}
+
+}  // namespace
+
+PublicationTables GeneratePublications(
+    const PublicationGeneratorOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<std::string> schema = {"title", "authors", "venue",
+                                           "year"};
+  PublicationTables out{RecordTable(schema), RecordTable(schema)};
+
+  // Curated table: one clean record per entity.
+  for (size_t i = 0; i < options.num_curated; ++i) {
+    Record r;
+    r.id = static_cast<uint32_t>(i);
+    r.entity_id = static_cast<uint32_t>(i);
+    r.attributes = {MakeTitle(&rng), MakeAuthors(&rng),
+                    kVenues[rng.NextBelow(std::size(kVenues))],
+                    StrFormat("%d", 1995 + static_cast<int>(rng.NextBelow(25)))};
+    (void)out.curated.Add(std::move(r));
+  }
+
+  // Crawled table: duplicates of curated entities plus fresh entities.
+  uint32_t next_entity = static_cast<uint32_t>(options.num_curated);
+  for (size_t i = 0; i < options.num_crawled; ++i) {
+    Record r;
+    r.id = static_cast<uint32_t>(i);
+    if (rng.NextBernoulli(options.duplicate_fraction) &&
+        options.num_curated > 0) {
+      const auto& src =
+          out.curated[rng.NextBelow(options.num_curated)];
+      r.entity_id = src.entity_id;
+      const PerturbationOptions sev = PickSeverity(options, &rng);
+      r.attributes.reserve(4);
+      for (const auto& value : src.attributes)
+        r.attributes.push_back(PerturbString(value, sev, &rng));
+    } else {
+      r.entity_id = next_entity++;
+      r.attributes = {MakeTitle(&rng), MakeAuthors(&rng),
+                      kVenues[rng.NextBelow(std::size(kVenues))],
+                      StrFormat("%d",
+                                1995 + static_cast<int>(rng.NextBelow(25)))};
+    }
+    (void)out.crawled.Add(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace humo::data

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/record.h"
+
+namespace humo::data {
+
+/// Configuration of the DBLP/Scholar-style bibliographic generator.
+///
+/// It emits two tables over the same hidden entity universe: a small, clean
+/// "curated" table (DBLP role) and a large, noisy "crawled" table (Scholar
+/// role) in which a fraction of records duplicate curated entities with
+/// perturbations, mirroring the structure of the paper's DS workload.
+struct PublicationGeneratorOptions {
+  /// Number of records in the curated (left) table; one per entity.
+  size_t num_curated = 400;
+  /// Number of records in the crawled (right) table.
+  size_t num_crawled = 2000;
+  /// Fraction of crawled records that duplicate a curated entity.
+  double duplicate_fraction = 0.25;
+  /// Perturbation severity mix for duplicates: fraction light / medium;
+  /// the remainder is heavy.
+  double light_fraction = 0.6;
+  double medium_fraction = 0.3;
+  uint64_t seed = 7;
+};
+
+/// Generated pair of tables with schema {title, authors, venue, year}.
+struct PublicationTables {
+  RecordTable curated;  // DBLP role
+  RecordTable crawled;  // Scholar role
+};
+
+/// Generates the synthetic bibliographic corpus. Titles are built from a
+/// domain phrase grammar, author lists from name parts, venues from a fixed
+/// pool — all original vocabulary, structurally similar to the real data.
+PublicationTables GeneratePublications(
+    const PublicationGeneratorOptions& options);
+
+}  // namespace humo::data

@@ -1,0 +1,23 @@
+#include "data/record.h"
+
+#include "common/string_util.h"
+
+namespace humo::data {
+
+Status RecordTable::Add(Record r) {
+  if (r.attributes.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("record has %zu attributes, schema has %zu",
+                  r.attributes.size(), schema_.size()));
+  }
+  records_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Result<size_t> RecordTable::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i)
+    if (schema_[i] == name) return i;
+  return Status::NotFound("no attribute named " + name);
+}
+
+}  // namespace humo::data

@@ -1,0 +1,66 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace humo::data {
+
+Workload::Workload(std::vector<InstancePair> pairs)
+    : pairs_(std::move(pairs)) {
+  SortBySimilarity();
+}
+
+void Workload::SortBySimilarity() {
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const InstancePair& a, const InstancePair& b) {
+              if (a.similarity != b.similarity)
+                return a.similarity < b.similarity;
+              if (a.left_id != b.left_id) return a.left_id < b.left_id;
+              return a.right_id < b.right_id;
+            });
+}
+
+size_t Workload::CountMatches() const {
+  size_t n = 0;
+  for (const auto& p : pairs_) n += p.is_match;
+  return n;
+}
+
+std::vector<int> Workload::GroundTruthLabels() const {
+  std::vector<int> labels(pairs_.size());
+  for (size_t i = 0; i < pairs_.size(); ++i) labels[i] = pairs_[i].is_match;
+  return labels;
+}
+
+std::vector<size_t> Workload::MatchHistogram(size_t num_buckets, double lo,
+                                             double hi) const {
+  assert(num_buckets > 0 && hi > lo);
+  std::vector<size_t> hist(num_buckets, 0);
+  const double width = (hi - lo) / static_cast<double>(num_buckets);
+  for (const auto& p : pairs_) {
+    if (!p.is_match) continue;
+    if (p.similarity < lo || p.similarity >= hi) continue;
+    size_t b = static_cast<size_t>((p.similarity - lo) / width);
+    if (b >= num_buckets) b = num_buckets - 1;
+    ++hist[b];
+  }
+  return hist;
+}
+
+void Workload::Add(InstancePair pair) { pairs_.push_back(pair); }
+
+WorkloadSummary Summarize(const Workload& w) {
+  WorkloadSummary s;
+  s.num_pairs = w.size();
+  s.num_matches = w.CountMatches();
+  if (!w.empty()) {
+    s.min_similarity = w[0].similarity;
+    s.max_similarity = w[w.size() - 1].similarity;
+    s.match_fraction =
+        static_cast<double>(s.num_matches) / static_cast<double>(s.num_pairs);
+  }
+  return s;
+}
+
+}  // namespace humo::data

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace humo::data {
+
+/// One instance pair d_i of an ER workload: a machine-metric value (pair
+/// similarity, SVM distance mapped to [0,1], or match probability) plus the
+/// hidden ground-truth label. The ground truth is only ever read through the
+/// core::Oracle so that human cost is accounted for.
+struct InstancePair {
+  /// Identifiers of the two records (indices into source tables); optional
+  /// provenance, unused by the optimizers.
+  uint32_t left_id = 0;
+  uint32_t right_id = 0;
+  /// Machine metric value in [0,1]; the workload is kept sorted ascending.
+  double similarity = 0.0;
+  /// Hidden ground truth: true when the two records refer to the same
+  /// real-world entity.
+  bool is_match = false;
+};
+
+/// An ER workload D = {d_1..d_n}, sorted ascending by similarity.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<InstancePair> pairs);
+
+  /// Sorts pairs ascending by similarity (stable; id pair breaks ties
+  /// deterministically).
+  void SortBySimilarity();
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const InstancePair& operator[](size_t i) const { return pairs_[i]; }
+  const std::vector<InstancePair>& pairs() const { return pairs_; }
+
+  /// Total ground-truth matching pairs (evaluation only — optimizers must
+  /// not call this).
+  size_t CountMatches() const;
+
+  /// Ground-truth labels vector (1 = match), for evaluation.
+  std::vector<int> GroundTruthLabels() const;
+
+  /// Histogram of matching-pair counts per similarity bucket — reproduces
+  /// the data behind Fig. 4. Returns `num_buckets` counts covering [lo, hi).
+  std::vector<size_t> MatchHistogram(size_t num_buckets, double lo = 0.0,
+                                     double hi = 1.0) const;
+
+  /// Appends a pair (invalidates sortedness until SortBySimilarity).
+  void Add(InstancePair pair);
+
+ private:
+  std::vector<InstancePair> pairs_;
+};
+
+/// Summary statistics of a workload, for dataset tables in docs/benches.
+struct WorkloadSummary {
+  size_t num_pairs = 0;
+  size_t num_matches = 0;
+  double min_similarity = 0.0;
+  double max_similarity = 0.0;
+  double match_fraction = 0.0;
+};
+WorkloadSummary Summarize(const Workload& w);
+
+}  // namespace humo::data

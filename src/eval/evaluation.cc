@@ -1,0 +1,16 @@
+#include "eval/evaluation.h"
+
+namespace humo::eval {
+
+ml::ClassificationMetrics EvaluateAgainstTruth(
+    const data::Workload& workload, const std::vector<int>& labels) {
+  return ml::EvaluateLabels(labels, workload.GroundTruthLabels());
+}
+
+Quality QualityOf(const data::Workload& workload,
+                  const std::vector<int>& labels) {
+  const auto m = EvaluateAgainstTruth(workload, labels);
+  return {m.precision(), m.recall(), m.f1()};
+}
+
+}  // namespace humo::eval

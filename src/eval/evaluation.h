@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "data/workload.h"
+#include "ml/metrics.h"
+
+namespace humo::eval {
+
+/// Quality of a labeling against the workload's hidden ground truth
+/// (evaluation-side only; optimizers never see this).
+ml::ClassificationMetrics EvaluateAgainstTruth(
+    const data::Workload& workload, const std::vector<int>& labels);
+
+/// Convenience: precision/recall/F1 triple.
+struct Quality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+Quality QualityOf(const data::Workload& workload,
+                  const std::vector<int>& labels);
+
+}  // namespace humo::eval

@@ -1,0 +1,60 @@
+#include "eval/experiment.h"
+
+#include "eval/evaluation.h"
+
+namespace humo::eval {
+
+TrialResult RunTrial(const core::SubsetPartition& partition,
+                     const core::QualityRequirement& req,
+                     const OptimizerFn& optimizer, core::Oracle* oracle) {
+  TrialResult tr;
+  auto sol = optimizer(partition, req, oracle);
+  if (!sol.ok()) {
+    tr.failed_to_run = true;
+    return tr;
+  }
+  const auto result = core::ApplySolution(partition, *sol, oracle);
+  const Quality q = QualityOf(partition.workload(), result.labels);
+  tr.precision = q.precision;
+  tr.recall = q.recall;
+  tr.f1 = q.f1;
+  tr.human_cost = result.human_cost;
+  tr.human_cost_fraction = result.human_cost_fraction;
+  tr.success = q.precision >= req.alpha && q.recall >= req.beta;
+  return tr;
+}
+
+ExperimentSummary RunExperiment(
+    const core::SubsetPartition& partition, const core::QualityRequirement& req,
+    const std::function<OptimizerFn(uint64_t seed)>& optimizer_factory,
+    size_t trials, uint64_t base_seed) {
+  ExperimentSummary s;
+  s.trials = trials;
+  size_t ok_trials = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    core::Oracle oracle(&partition.workload());
+    const TrialResult tr =
+        RunTrial(partition, req, optimizer_factory(base_seed + t), &oracle);
+    if (tr.failed_to_run) {
+      ++s.failed_trials;
+      continue;
+    }
+    ++ok_trials;
+    s.mean_precision += tr.precision;
+    s.mean_recall += tr.recall;
+    s.mean_f1 += tr.f1;
+    s.mean_cost_fraction += tr.human_cost_fraction;
+    s.success_rate += tr.success ? 1.0 : 0.0;
+  }
+  if (ok_trials > 0) {
+    const double n = static_cast<double>(ok_trials);
+    s.mean_precision /= n;
+    s.mean_recall /= n;
+    s.mean_f1 /= n;
+    s.mean_cost_fraction /= n;
+    s.success_rate /= n;
+  }
+  return s;
+}
+
+}  // namespace humo::eval

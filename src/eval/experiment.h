@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/partition.h"
+#include "core/solution.h"
+#include "data/workload.h"
+
+namespace humo::eval {
+
+/// One trial's outcome: achieved quality, human cost and success flag.
+struct TrialResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double human_cost_fraction = 0.0;
+  size_t human_cost = 0;
+  bool success = false;  // precision >= alpha && recall >= beta
+  bool failed_to_run = false;
+};
+
+/// Aggregate over trials (the paper averages 100 runs and reports success
+/// rates alongside mean quality).
+struct ExperimentSummary {
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  double mean_cost_fraction = 0.0;
+  double success_rate = 0.0;  // fraction of trials meeting both targets
+  size_t trials = 0;
+  size_t failed_trials = 0;
+};
+
+/// An optimizer under test: given a partition, requirement and oracle,
+/// produce a solution. Wraps any of BASE / SAMP / ALL / HYBR with the
+/// trial's seed applied.
+using OptimizerFn = std::function<humo::Result<core::HumoSolution>(
+    const core::SubsetPartition&, const core::QualityRequirement&,
+    core::Oracle*)>;
+
+/// Runs one trial end-to-end: optimize, apply the solution (human labels
+/// DH), evaluate against ground truth.
+TrialResult RunTrial(const core::SubsetPartition& partition,
+                     const core::QualityRequirement& req,
+                     const OptimizerFn& optimizer, core::Oracle* oracle);
+
+/// Runs `trials` independent trials; trial t receives seed `base_seed + t`
+/// through the factory so sampling randomness differs per run.
+ExperimentSummary RunExperiment(
+    const core::SubsetPartition& partition, const core::QualityRequirement& req,
+    const std::function<OptimizerFn(uint64_t seed)>& optimizer_factory,
+    size_t trials, uint64_t base_seed = 1000);
+
+}  // namespace humo::eval

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace humo::eval {
+
+/// Minimal fixed-width ASCII table writer for the benchmark harness: every
+/// bench binary prints the same rows the paper's tables/figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double v, int digits = 4);
+
+/// Formats a percentage (0.0731 -> "7.31%").
+std::string FmtPercent(double fraction, int digits = 2);
+
+}  // namespace humo::eval

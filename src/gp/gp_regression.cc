@@ -1,0 +1,181 @@
+#include "gp/gp_regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace humo::gp {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093454835606594728112;
+
+}  // namespace
+
+double Prediction::stddev() const { return std::sqrt(std::max(0.0, variance)); }
+
+double JointPrediction::WeightedTotalMean(
+    const std::vector<double>& weights) const {
+  assert(weights.size() == mean.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < mean.size(); ++i) acc += weights[i] * mean[i];
+  return acc;
+}
+
+double JointPrediction::WeightedTotalStdDev(
+    const std::vector<double>& weights) const {
+  assert(weights.size() == mean.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i)
+    for (size_t j = 0; j < weights.size(); ++j)
+      acc += weights[i] * weights[j] * covariance(i, j);
+  return std::sqrt(std::max(0.0, acc));
+}
+
+Result<GpRegression> GpRegression::Fit(std::unique_ptr<Kernel> kernel,
+                                       std::vector<double> x,
+                                       std::vector<double> y,
+                                       GpOptions options,
+                                       std::vector<double> noise_variances) {
+  if (!kernel) return Status::InvalidArgument("kernel must not be null");
+  if (x.size() != y.size())
+    return Status::InvalidArgument(
+        StrFormat("x/y size mismatch: %zu vs %zu", x.size(), y.size()));
+  if (x.empty()) return Status::InvalidArgument("empty training set");
+  if (!noise_variances.empty() && noise_variances.size() != x.size())
+    return Status::InvalidArgument("noise_variances must parallel x");
+
+  GpRegression gp;
+  gp.kernel_ = std::move(kernel);
+  gp.x_ = std::move(x);
+
+  gp.y_mean_ = 0.0;
+  if (options.center_mean) {
+    for (double v : y) gp.y_mean_ += v;
+    gp.y_mean_ /= static_cast<double>(y.size());
+  }
+  gp.y_centered_.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) gp.y_centered_[i] = y[i] - gp.y_mean_;
+
+  linalg::Matrix k = gp.kernel_->GramSymmetric(gp.x_);
+  k.AddToDiagonal(options.noise_variance);
+  for (size_t i = 0; i < noise_variances.size(); ++i)
+    k(i, i) += noise_variances[i];
+
+  HUMO_ASSIGN_OR_RETURN(gp.chol_, linalg::Cholesky::Factor(k));
+  gp.alpha_ = gp.chol_.Solve(gp.y_centered_);
+
+  const double n = static_cast<double>(gp.x_.size());
+  gp.log_marginal_ = -0.5 * linalg::Dot(gp.y_centered_, gp.alpha_) -
+                     0.5 * gp.chol_.LogDeterminant() - 0.5 * n * kLog2Pi;
+  return gp;
+}
+
+Prediction GpRegression::Predict(double x_star) const {
+  const size_t n = x_.size();
+  linalg::Vector k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x_star, x_[i]);
+  Prediction p;
+  p.mean = y_mean_ + linalg::Dot(k_star, alpha_);
+  const linalg::Vector v = chol_.SolveLower(k_star);
+  p.variance = (*kernel_)(x_star, x_star) - linalg::Dot(v, v);
+  if (p.variance < 0.0) p.variance = 0.0;
+  return p;
+}
+
+JointPrediction GpRegression::PredictJoint(
+    const std::vector<double>& x_star) const {
+  const size_t n = x_.size();
+  const size_t q = x_star.size();
+  JointPrediction jp;
+  jp.mean.resize(q);
+  // K(V, V*) — n x q.
+  linalg::Matrix k_cross = kernel_->Gram(x_, x_star);
+  // Means: y_mean + K(V*,V) alpha.
+  for (size_t j = 0; j < q; ++j) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) acc += k_cross(i, j) * alpha_[i];
+    jp.mean[j] = y_mean_ + acc;
+  }
+  // Posterior covariance: K(V*,V*) - K(V*,V) K^-1 K(V,V*)
+  //                     = K(V*,V*) - W^T W with W = L^-1 K(V,V*).
+  linalg::Matrix w(n, q);
+  {
+    linalg::Vector col(n);
+    for (size_t j = 0; j < q; ++j) {
+      for (size_t i = 0; i < n; ++i) col[i] = k_cross(i, j);
+      linalg::Vector sol = chol_.SolveLower(col);
+      for (size_t i = 0; i < n; ++i) w(i, j) = sol[i];
+    }
+  }
+  jp.covariance = kernel_->GramSymmetric(x_star);
+  for (size_t a = 0; a < q; ++a) {
+    for (size_t b = 0; b <= a; ++b) {
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) acc += w(i, a) * w(i, b);
+      jp.covariance(a, b) -= acc;
+      if (a != b) jp.covariance(b, a) = jp.covariance(a, b);
+    }
+  }
+  // Clamp tiny negative diagonal values from roundoff.
+  for (size_t a = 0; a < q; ++a)
+    if (jp.covariance(a, a) < 0.0) jp.covariance(a, a) = 0.0;
+  return jp;
+}
+
+double GpRegression::LogMarginalLikelihood() const { return log_marginal_; }
+
+linalg::Vector GpRegression::WhitenedCross(double x_star) const {
+  const size_t n = x_.size();
+  linalg::Vector k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x_star, x_[i]);
+  return chol_.SolveLower(k_star);
+}
+
+Result<GpRegression> SelectGpByMarginalLikelihood(
+    const std::vector<double>& x, const std::vector<double>& y,
+    const std::vector<GpCandidate>& grid, KernelFamily family,
+    GpOptions options, std::vector<double> noise_variances) {
+  if (grid.empty()) return Status::InvalidArgument("empty candidate grid");
+  double best_lml = -std::numeric_limits<double>::infinity();
+  Result<GpRegression> best =
+      Status::Internal("no candidate produced a valid fit");
+  for (const auto& cand : grid) {
+    std::unique_ptr<Kernel> k;
+    switch (family) {
+      case KernelFamily::kRbf:
+        k = std::make_unique<RbfKernel>(cand.signal_variance,
+                                        cand.length_scale);
+        break;
+      case KernelFamily::kMatern32:
+        k = std::make_unique<Matern32Kernel>(cand.signal_variance,
+                                             cand.length_scale);
+        break;
+      case KernelFamily::kMatern52:
+        k = std::make_unique<Matern52Kernel>(cand.signal_variance,
+                                             cand.length_scale);
+        break;
+    }
+    auto fit = GpRegression::Fit(std::move(k), x, y, options, noise_variances);
+    if (!fit.ok()) continue;
+    const double lml = fit->LogMarginalLikelihood();
+    if (lml > best_lml) {
+      best_lml = lml;
+      best = std::move(fit);
+    }
+  }
+  return best;
+}
+
+std::vector<GpCandidate> DefaultGpGrid() {
+  std::vector<GpCandidate> grid;
+  for (double sf2 : {0.0025, 0.01, 0.05, 0.25, 1.0}) {
+    for (double l : {0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+      grid.push_back({sf2, l});
+    }
+  }
+  return grid;
+}
+
+}  // namespace humo::gp

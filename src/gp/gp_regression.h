@@ -1,0 +1,114 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace humo::gp {
+
+/// Posterior of a single query point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev() const;
+};
+
+/// Joint posterior over a set of query points: per-point means and the full
+/// posterior covariance K(V*,V*) - K(V*,V) K(V,V)^-1 K(V,V*) (paper Eq. 20
+/// needs the off-diagonal terms when aggregating subset match counts).
+struct JointPrediction {
+  std::vector<double> mean;
+  linalg::Matrix covariance;
+
+  /// Sum over points of n_i * mean_i, i.e. expected total positives when
+  /// mean_i are match proportions and weights n_i are subset sizes (Eq. 19).
+  double WeightedTotalMean(const std::vector<double>& weights) const;
+
+  /// Std-dev of the weighted total: sqrt(sum_ij n_i n_j cov_ij) (Eq. 20).
+  double WeightedTotalStdDev(const std::vector<double>& weights) const;
+};
+
+/// Options controlling GP fitting.
+struct GpOptions {
+  /// Homoscedastic observation-noise variance added to the training
+  /// diagonal; per-point noise can additionally be supplied to Fit.
+  double noise_variance = 1e-4;
+  /// Subtract the training-mean before fitting and add it back at
+  /// prediction (a constant mean function; keeps the zero-mean GP assumption
+  /// honest for proportions that hover near 0.5).
+  bool center_mean = true;
+};
+
+/// Gaussian-process regression over scalar inputs.
+///
+/// This implements §VI-B of the paper: the match proportions of unit subsets
+/// are modeled as a joint Gaussian in their (average) similarity values,
+/// the posterior supplies both interpolated proportions (Eq. 16-17) and the
+/// covariance needed to bound totals over subset unions (Eq. 19-21).
+class GpRegression {
+ public:
+  /// Fits the GP. `noise_variances`, when non-empty, must parallel `x` and
+  /// adds heteroscedastic per-observation noise (sampling variance of each
+  /// observed proportion) to the training diagonal.
+  static Result<GpRegression> Fit(std::unique_ptr<Kernel> kernel,
+                                  std::vector<double> x, std::vector<double> y,
+                                  GpOptions options = {},
+                                  std::vector<double> noise_variances = {});
+
+  /// Posterior mean/variance at one query point.
+  Prediction Predict(double x_star) const;
+
+  /// Joint posterior over many query points.
+  JointPrediction PredictJoint(const std::vector<double>& x_star) const;
+
+  /// Log marginal likelihood of the training data under the fitted kernel;
+  /// used for hyperparameter selection.
+  double LogMarginalLikelihood() const;
+
+  /// Whitened cross-covariance w(x*) = L^-1 k(V, x*). The posterior
+  /// covariance of two query points decomposes as
+  ///   cov(a, b) = k(a, b) - w(a).w(b),
+  /// which lets range aggregations (Eq. 20) be maintained incrementally in
+  /// O(len(V)) per update instead of re-solving per query set.
+  linalg::Vector WhitenedCross(double x_star) const;
+
+  const Kernel& kernel() const { return *kernel_; }
+  size_t num_training_points() const { return x_.size(); }
+
+ private:
+  GpRegression() = default;
+
+  std::unique_ptr<Kernel> kernel_;
+  std::vector<double> x_;
+  std::vector<double> y_centered_;
+  double y_mean_ = 0.0;
+  linalg::Cholesky chol_;
+  linalg::Vector alpha_;  // K^-1 (y - mean)
+  double log_marginal_ = 0.0;
+};
+
+/// Candidate hyperparameter grid entry for SelectGpByMarginalLikelihood.
+struct GpCandidate {
+  double signal_variance;
+  double length_scale;
+};
+
+/// Kernel families the selector can instantiate.
+enum class KernelFamily { kRbf, kMatern32, kMatern52 };
+
+/// Fits one GP per candidate on a small grid and returns the one with the
+/// highest log marginal likelihood (simple, derivative-free model selection;
+/// adequate for 1-D inputs).
+Result<GpRegression> SelectGpByMarginalLikelihood(
+    const std::vector<double>& x, const std::vector<double>& y,
+    const std::vector<GpCandidate>& grid, KernelFamily family,
+    GpOptions options = {}, std::vector<double> noise_variances = {});
+
+/// A sensible default grid for similarity inputs in [0,1].
+std::vector<GpCandidate> DefaultGpGrid();
+
+}  // namespace humo::gp

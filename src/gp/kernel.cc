@@ -1,0 +1,115 @@
+#include "gp/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace humo::gp {
+
+linalg::Matrix Kernel::Gram(const std::vector<double>& xs,
+                            const std::vector<double>& ys) const {
+  linalg::Matrix k(xs.size(), ys.size());
+  for (size_t i = 0; i < xs.size(); ++i)
+    for (size_t j = 0; j < ys.size(); ++j) k(i, j) = (*this)(xs[i], ys[j]);
+  return k;
+}
+
+linalg::Matrix Kernel::GramSymmetric(const std::vector<double>& xs) const {
+  linalg::Matrix k(xs.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const double v = (*this)(xs[i], xs[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+RbfKernel::RbfKernel(double signal_variance, double length_scale)
+    : sf2_(signal_variance), l_(length_scale) {
+  assert(sf2_ > 0.0 && l_ > 0.0);
+}
+
+double RbfKernel::operator()(double x, double y) const {
+  const double d = (x - y) / l_;
+  return sf2_ * std::exp(-0.5 * d * d);
+}
+
+std::string RbfKernel::ToString() const {
+  return StrFormat("RBF(sf2=%.4g, l=%.4g)", sf2_, l_);
+}
+
+std::unique_ptr<Kernel> RbfKernel::Clone() const {
+  return std::make_unique<RbfKernel>(sf2_, l_);
+}
+
+Matern32Kernel::Matern32Kernel(double signal_variance, double length_scale)
+    : sf2_(signal_variance), l_(length_scale) {
+  assert(sf2_ > 0.0 && l_ > 0.0);
+}
+
+double Matern32Kernel::operator()(double x, double y) const {
+  const double r = std::fabs(x - y) / l_;
+  const double a = std::sqrt(3.0) * r;
+  return sf2_ * (1.0 + a) * std::exp(-a);
+}
+
+std::string Matern32Kernel::ToString() const {
+  return StrFormat("Matern32(sf2=%.4g, l=%.4g)", sf2_, l_);
+}
+
+std::unique_ptr<Kernel> Matern32Kernel::Clone() const {
+  return std::make_unique<Matern32Kernel>(sf2_, l_);
+}
+
+Matern52Kernel::Matern52Kernel(double signal_variance, double length_scale)
+    : sf2_(signal_variance), l_(length_scale) {
+  assert(sf2_ > 0.0 && l_ > 0.0);
+}
+
+double Matern52Kernel::operator()(double x, double y) const {
+  const double r = std::fabs(x - y) / l_;
+  const double a = std::sqrt(5.0) * r;
+  return sf2_ * (1.0 + a + 5.0 * r * r / 3.0) * std::exp(-a);
+}
+
+std::string Matern52Kernel::ToString() const {
+  return StrFormat("Matern52(sf2=%.4g, l=%.4g)", sf2_, l_);
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::Clone() const {
+  return std::make_unique<Matern52Kernel>(sf2_, l_);
+}
+
+ConstantKernel::ConstantKernel(double c) : c_(c) { assert(c_ >= 0.0); }
+
+double ConstantKernel::operator()(double, double) const { return c_; }
+
+std::string ConstantKernel::ToString() const {
+  return StrFormat("Const(%.4g)", c_);
+}
+
+std::unique_ptr<Kernel> ConstantKernel::Clone() const {
+  return std::make_unique<ConstantKernel>(c_);
+}
+
+SumKernel::SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  assert(a_ && b_);
+}
+
+double SumKernel::operator()(double x, double y) const {
+  return (*a_)(x, y) + (*b_)(x, y);
+}
+
+std::string SumKernel::ToString() const {
+  return a_->ToString() + " + " + b_->ToString();
+}
+
+std::unique_ptr<Kernel> SumKernel::Clone() const {
+  return std::make_unique<SumKernel>(a_->Clone(), b_->Clone());
+}
+
+}  // namespace humo::gp

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace humo::gp {
+
+/// Covariance function over scalar inputs (similarity values in [0,1]).
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// k(x, y).
+  virtual double operator()(double x, double y) const = 0;
+
+  /// Human-readable description, e.g. "RBF(sf2=1, l=0.1)".
+  virtual std::string ToString() const = 0;
+
+  virtual std::unique_ptr<Kernel> Clone() const = 0;
+
+  /// Gram matrix K(xs, ys).
+  linalg::Matrix Gram(const std::vector<double>& xs,
+                      const std::vector<double>& ys) const;
+
+  /// Symmetric Gram matrix K(xs, xs); exploits symmetry.
+  linalg::Matrix GramSymmetric(const std::vector<double>& xs) const;
+};
+
+/// Squared-exponential (RBF): sf2 * exp(-(x-y)^2 / (2 l^2)).
+class RbfKernel : public Kernel {
+ public:
+  RbfKernel(double signal_variance, double length_scale);
+  double operator()(double x, double y) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Kernel> Clone() const override;
+  double signal_variance() const { return sf2_; }
+  double length_scale() const { return l_; }
+
+ private:
+  double sf2_, l_;
+};
+
+/// Matérn ν=3/2: sf2 * (1 + √3 r/l) exp(-√3 r/l).
+class Matern32Kernel : public Kernel {
+ public:
+  Matern32Kernel(double signal_variance, double length_scale);
+  double operator()(double x, double y) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Kernel> Clone() const override;
+
+ private:
+  double sf2_, l_;
+};
+
+/// Matérn ν=5/2: sf2 * (1 + √5 r/l + 5r²/(3l²)) exp(-√5 r/l).
+class Matern52Kernel : public Kernel {
+ public:
+  Matern52Kernel(double signal_variance, double length_scale);
+  double operator()(double x, double y) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Kernel> Clone() const override;
+
+ private:
+  double sf2_, l_;
+};
+
+/// Constant kernel: c (models a global offset's variance).
+class ConstantKernel : public Kernel {
+ public:
+  explicit ConstantKernel(double c);
+  double operator()(double x, double y) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Kernel> Clone() const override;
+
+ private:
+  double c_;
+};
+
+/// Sum of two kernels.
+class SumKernel : public Kernel {
+ public:
+  SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b);
+  double operator()(double x, double y) const override;
+  std::string ToString() const override;
+  std::unique_ptr<Kernel> Clone() const override;
+
+ private:
+  std::unique_ptr<Kernel> a_, b_;
+};
+
+}  // namespace humo::gp

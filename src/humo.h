@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file humo.h
+/// Umbrella header for the HUMO library — a human and machine cooperation
+/// framework for entity resolution with quality guarantees (reproduction of
+/// Chen et al., ICDE 2018).
+///
+/// Typical usage:
+///
+///   #include "humo.h"
+///   using namespace humo;
+///
+///   data::Workload w = data::SimulatePairs(data::DsConfig());
+///   core::SubsetPartition partition(&w, /*subset_size=*/200);
+///   core::Oracle oracle(&w);
+///   core::QualityRequirement req{/*alpha=*/0.9, /*beta=*/0.9,
+///                                /*theta=*/0.9};
+///   core::HybridOptimizer optimizer;
+///   auto solution = optimizer.Optimize(partition, req, &oracle);
+///   auto result = core::ApplySolution(partition, *solution, &oracle);
+///   // result.labels now meets precision >= 0.9 and recall >= 0.9 with
+///   // confidence 0.9; result.human_cost pairs were inspected manually.
+
+#include "actl/active_learning.h"
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "core/all_sampling_optimizer.h"
+#include "core/budgeted_resolver.h"
+#include "core/crowd_oracle.h"
+#include "core/baseline_optimizer.h"
+#include "core/gp_subset_model.h"
+#include "core/hybrid_optimizer.h"
+#include "core/machine_metric.h"
+#include "core/oracle.h"
+#include "core/partial_sampling_optimizer.h"
+#include "core/partition.h"
+#include "core/solution.h"
+#include "data/blocking.h"
+#include "data/logistic_generator.h"
+#include "data/pair_simulator.h"
+#include "data/persistence.h"
+#include "data/perturbation.h"
+#include "data/product_generator.h"
+#include "data/publication_generator.h"
+#include "data/record.h"
+#include "data/workload.h"
+#include "eval/evaluation.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "gp/gp_regression.h"
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "ml/dataset.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/proportion.h"
+#include "stats/sampling.h"
+#include "stats/stratified.h"
+#include "text/attribute_similarity.h"
+#include "text/phonetic.h"
+#include "text/edit_distance.h"
+#include "text/jaro.h"
+#include "text/token_similarity.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"

@@ -1,0 +1,95 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace humo::linalg {
+namespace {
+
+/// Attempts a plain Cholesky factorization; returns false on a non-positive
+/// pivot.
+bool TryFactor(const Matrix& a, Matrix* l) {
+  const size_t n = a.rows();
+  *l = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= (*l)(i, k) * (*l)(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return false;
+        (*l)(i, i) = std::sqrt(sum);
+      } else {
+        (*l)(i, j) = sum / (*l)(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a, double initial_jitter,
+                                  double max_jitter) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument(
+        StrFormat("Cholesky requires a square matrix, got %zux%zu", a.rows(),
+                  a.cols()));
+  Cholesky chol;
+  if (TryFactor(a, &chol.l_)) return chol;
+  for (double jitter = initial_jitter; jitter <= max_jitter; jitter *= 10.0) {
+    Matrix aj = a;
+    aj.AddToDiagonal(jitter);
+    if (TryFactor(aj, &chol.l_)) {
+      chol.jitter_used_ = jitter;
+      return chol;
+    }
+  }
+  return Status::Internal(
+      "matrix is not positive definite even with maximum jitter");
+}
+
+Vector Cholesky::SolveLower(const Vector& b) const {
+  const size_t n = l_.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const size_t n = l_.rows();
+  Vector y = SolveLower(b);
+  // Back substitution with L^T.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  assert(b.rows() == l_.rows());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    for (size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    Vector sol = Solve(col);
+    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Cholesky::LogDeterminant() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace humo::linalg

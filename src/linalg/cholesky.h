@@ -1,0 +1,47 @@
+#pragma once
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace humo::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix,
+/// with the solves needed by Gaussian-process regression.
+class Cholesky {
+ public:
+  /// Creates an empty (unfactored) object; using Solve on it is invalid.
+  /// Exists so owning classes can default-construct and assign later.
+  Cholesky() = default;
+
+  /// Factors `a`. When factorization hits a non-positive pivot, jitter
+  /// (starting at `initial_jitter`, escalating x10 up to `max_jitter`) is
+  /// added to the diagonal and factorization is retried — the standard GP
+  /// stabilization for nearly singular kernel matrices.
+  static Result<Cholesky> Factor(const Matrix& a,
+                                 double initial_jitter = 1e-10,
+                                 double max_jitter = 1e-2);
+
+  /// Solves A x = b via forward+back substitution.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// Solves L y = b (forward substitution only).
+  Vector SolveLower(const Vector& b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)); cheap once factored.
+  double LogDeterminant() const;
+
+  /// The lower-triangular factor.
+  const Matrix& L() const { return l_; }
+
+  /// Jitter that had to be added to the diagonal (0 when none).
+  double jitter_used() const { return jitter_used_; }
+
+ private:
+  Matrix l_;
+  double jitter_used_ = 0.0;
+};
+
+}  // namespace humo::linalg

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace humo::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Sized for the Gaussian-process use
+/// case in this library (tens to a few hundred rows); no BLAS, no SIMD — the
+/// O(k^3) Cholesky on k<=500 sampled subsets costs microseconds-to-
+/// milliseconds, which is negligible next to the simulated human labeling.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data (row-major); all rows must have the
+  /// same length.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& AddToDiagonal(double x);
+
+  /// Max absolute element difference; matrices must be the same shape.
+  double MaxAbsDiff(const Matrix& rhs) const;
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// v . w
+double Dot(const Vector& a, const Vector& b);
+
+/// a - b elementwise.
+Vector Sub(const Vector& a, const Vector& b);
+
+/// a + b elementwise.
+Vector Add(const Vector& a, const Vector& b);
+
+/// s * v
+Vector Scale(const Vector& v, double s);
+
+}  // namespace humo::linalg

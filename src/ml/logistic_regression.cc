@@ -1,0 +1,60 @@
+#include "ml/logistic_regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace humo::ml {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+LogisticRegression LogisticRegression::Train(const Dataset& data,
+                                             const LogisticOptions& options) {
+  assert(data.size() > 0);
+  const size_t d = data.num_features();
+  LogisticRegression lr;
+  lr.w_.assign(d, 0.0);
+  lr.b_ = 0.0;
+
+  Rng rng(options.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // 1/sqrt(epoch) decay keeps late epochs fine-tuning.
+    const double eta =
+        options.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (size_t i : order) {
+      const auto& x = data.features[i];
+      double z = lr.b_;
+      for (size_t j = 0; j < d; ++j) z += lr.w_[j] * x[j];
+      const double err = Sigmoid(z) - static_cast<double>(data.labels[i]);
+      for (size_t j = 0; j < d; ++j)
+        lr.w_[j] -= eta * (err * x[j] + options.l2 * lr.w_[j]);
+      lr.b_ -= eta * err;
+    }
+  }
+  return lr;
+}
+
+double LogisticRegression::PredictProbability(const FeatureVector& f) const {
+  assert(f.size() == w_.size());
+  double z = b_;
+  for (size_t j = 0; j < w_.size(); ++j) z += w_[j] * f[j];
+  return Sigmoid(z);
+}
+
+int LogisticRegression::Predict(const FeatureVector& f,
+                                double threshold) const {
+  return PredictProbability(f) >= threshold ? 1 : 0;
+}
+
+}  // namespace humo::ml

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/dataset.h"
+
+namespace humo::ml {
+
+struct LogisticOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-5;
+  size_t epochs = 50;
+  uint64_t seed = 42;
+};
+
+/// Binary logistic regression trained by SGD. Supplies the
+/// "match probability" machine metric alternative discussed in §IV-A.
+class LogisticRegression {
+ public:
+  static LogisticRegression Train(const Dataset& data,
+                                  const LogisticOptions& options = {});
+
+  /// P(label = 1 | f) via the sigmoid of the linear score.
+  double PredictProbability(const FeatureVector& f) const;
+
+  /// Hard prediction at the given probability threshold.
+  int Predict(const FeatureVector& f, double threshold = 0.5) const;
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Numerically safe sigmoid.
+double Sigmoid(double z);
+
+}  // namespace humo::ml

@@ -1,0 +1,43 @@
+#include "ml/scaler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace humo::ml {
+
+void StandardScaler::Fit(const Dataset& data) {
+  const size_t d = data.num_features();
+  means_.assign(d, 0.0);
+  stddevs_.assign(d, 1.0);
+  if (data.size() == 0) return;
+  for (const auto& f : data.features)
+    for (size_t j = 0; j < d; ++j) means_[j] += f[j];
+  for (double& m : means_) m /= static_cast<double>(data.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& f : data.features)
+    for (size_t j = 0; j < d; ++j) {
+      const double dev = f[j] - means_[j];
+      var[j] += dev * dev;
+    }
+  for (size_t j = 0; j < d; ++j) {
+    const double v = var[j] / static_cast<double>(data.size());
+    stddevs_[j] = v > 0.0 ? std::sqrt(v) : 1.0;  // constant feature: identity
+  }
+}
+
+FeatureVector StandardScaler::Transform(const FeatureVector& f) const {
+  assert(f.size() == means_.size());
+  FeatureVector out(f.size());
+  for (size_t j = 0; j < f.size(); ++j)
+    out[j] = (f[j] - means_[j]) / stddevs_[j];
+  return out;
+}
+
+Dataset StandardScaler::Transform(const Dataset& data) const {
+  Dataset out;
+  for (size_t i = 0; i < data.size(); ++i)
+    out.Add(Transform(data.features[i]), data.labels[i]);
+  return out;
+}
+
+}  // namespace humo::ml

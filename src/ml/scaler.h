@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace humo::ml {
+
+/// Per-feature standardization to zero mean / unit variance, fitted on the
+/// training set and applied to any split (avoids train/test leakage).
+class StandardScaler {
+ public:
+  void Fit(const Dataset& data);
+  FeatureVector Transform(const FeatureVector& f) const;
+  Dataset Transform(const Dataset& data) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace humo::ml

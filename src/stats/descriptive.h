@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace humo::stats {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+double SampleVariance(const std::vector<double>& xs);
+
+/// Square root of SampleVariance.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Population variance (n denominator).
+double PopulationVariance(const std::vector<double>& xs);
+
+/// p-quantile by linear interpolation of the sorted sample, p in [0,1].
+double Quantile(std::vector<double> xs, double p);
+
+/// Median (0.5-quantile).
+double Median(std::vector<double> xs);
+
+/// Pearson correlation; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long runs of benchmark measurements.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace humo::stats

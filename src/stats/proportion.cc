@@ -1,0 +1,89 @@
+#include "stats/proportion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace humo::stats {
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Solves I_x(a, b) = target for x by bisection; the regularized incomplete
+/// beta is monotone increasing in x.
+double BetaQuantile(double a, double b, double target) {
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (RegularizedIncompleteBeta(a, b, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+ProportionInterval WaldInterval(size_t positives, size_t n,
+                                double confidence) {
+  assert(positives <= n);
+  if (n == 0) return {0.0, 1.0};
+  const double p = static_cast<double>(positives) / static_cast<double>(n);
+  const double z = NormalTwoSidedCritical(confidence);
+  const double half = z * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  return {Clamp01(p - half), Clamp01(p + half)};
+}
+
+ProportionInterval WilsonInterval(size_t positives, size_t n,
+                                  double confidence) {
+  assert(positives <= n);
+  if (n == 0) return {0.0, 1.0};
+  const double p = static_cast<double>(positives) / static_cast<double>(n);
+  const double z = NormalTwoSidedCritical(confidence);
+  const double z2 = z * z;
+  const double nn = static_cast<double>(n);
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  ProportionInterval iv{Clamp01(center - half), Clamp01(center + half)};
+  // Exact endpoints at the degenerate counts (kill roundoff residue).
+  if (positives == 0) iv.lo = 0.0;
+  if (positives == n) iv.hi = 1.0;
+  return iv;
+}
+
+ProportionInterval ClopperPearsonInterval(size_t positives, size_t n,
+                                          double confidence) {
+  assert(positives <= n);
+  if (n == 0) return {0.0, 1.0};
+  const double alpha = 1.0 - confidence;
+  const double k = static_cast<double>(positives);
+  const double nn = static_cast<double>(n);
+  ProportionInterval iv;
+  iv.lo = (positives == 0)
+              ? 0.0
+              : BetaQuantile(k, nn - k + 1.0, alpha / 2.0);
+  iv.hi = (positives == n)
+              ? 1.0
+              : BetaQuantile(k + 1.0, nn - k, 1.0 - alpha / 2.0);
+  return iv;
+}
+
+ProportionInterval AgrestiCoullInterval(size_t positives, size_t n,
+                                        double confidence) {
+  assert(positives <= n);
+  if (n == 0) return {0.0, 1.0};
+  const double z = NormalTwoSidedCritical(confidence);
+  const double z2 = z * z;
+  const double n_tilde = static_cast<double>(n) + z2;
+  const double p_tilde = (static_cast<double>(positives) + z2 / 2.0) / n_tilde;
+  const double half = z * std::sqrt(p_tilde * (1.0 - p_tilde) / n_tilde);
+  return {Clamp01(p_tilde - half), Clamp01(p_tilde + half)};
+}
+
+}  // namespace humo::stats

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+
+namespace humo::stats {
+
+/// Two-sided confidence interval [lo, hi] for a binomial proportion.
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wald interval p_hat +- z * sqrt(p_hat (1-p_hat) / n). Simple but
+/// ill-behaved near 0/1; kept for comparison with the stronger intervals.
+ProportionInterval WaldInterval(size_t positives, size_t n, double confidence);
+
+/// Wilson score interval — the recommended default for the ACTL comparator's
+/// sampled precision estimates (well-behaved for small n and extreme p).
+ProportionInterval WilsonInterval(size_t positives, size_t n,
+                                  double confidence);
+
+/// Clopper-Pearson "exact" interval via the beta-quantile characterization,
+/// computed with bisection on the regularized incomplete beta function.
+ProportionInterval ClopperPearsonInterval(size_t positives, size_t n,
+                                          double confidence);
+
+/// Agresti-Coull interval (adjusted Wald).
+ProportionInterval AgrestiCoullInterval(size_t positives, size_t n,
+                                        double confidence);
+
+}  // namespace humo::stats

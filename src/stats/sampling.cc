@@ -1,0 +1,61 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace humo::stats {
+
+double SampleGamma(Rng* rng, double shape) {
+  assert(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+    const double g = SampleGamma(rng, shape + 1.0);
+    double u = rng->NextDouble();
+    if (u <= 0.0) u = 1e-300;
+    return g * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng->NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+double SampleBeta(Rng* rng, double a, double b) {
+  assert(a > 0.0 && b > 0.0);
+  const double ga = SampleGamma(rng, a);
+  const double gb = SampleGamma(rng, b);
+  const double denom = ga + gb;
+  if (denom == 0.0) return 0.5;
+  return ga / denom;
+}
+
+size_t SampleBinomial(Rng* rng, size_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double np = static_cast<double>(n) * p;
+  const double var = np * (1.0 - p);
+  if (n <= 64 || var < 30.0) {
+    size_t k = 0;
+    for (size_t i = 0; i < n; ++i) k += rng->NextBernoulli(p);
+    return k;
+  }
+  // Normal approximation, adequate for the workload-generation use case.
+  const double draw = rng->NextGaussian(np, std::sqrt(var));
+  const double clamped =
+      std::min(static_cast<double>(n), std::max(0.0, std::round(draw)));
+  return static_cast<size_t>(clamped);
+}
+
+}  // namespace humo::stats

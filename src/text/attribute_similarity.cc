@@ -1,0 +1,49 @@
+#include "text/attribute_similarity.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace humo::text {
+
+AggregatedSimilarity::AggregatedSimilarity(std::vector<AttributeSpec> specs)
+    : specs_(std::move(specs)), total_weight_(0.0) {
+  assert(!specs_.empty());
+  for (const auto& s : specs_) {
+    assert(s.weight >= 0.0);
+    total_weight_ += s.weight;
+  }
+  assert(total_weight_ > 0.0);
+}
+
+double AggregatedSimilarity::operator()(
+    const std::vector<std::string>& r1,
+    const std::vector<std::string>& r2) const {
+  assert(r1.size() >= specs_.size() && r2.size() >= specs_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const auto& spec = specs_[i];
+    if (spec.weight == 0.0) continue;
+    if (r1[i].empty() || r2[i].empty()) continue;  // missing value -> 0
+    acc += spec.weight * spec.metric(r1[i], r2[i]);
+  }
+  return acc / total_weight_;
+}
+
+std::vector<double> AggregatedSimilarity::WeightsFromDistinctCounts(
+    const std::vector<std::vector<std::string>>& records,
+    size_t num_attributes) {
+  std::vector<std::unordered_set<std::string>> distinct(num_attributes);
+  for (const auto& rec : records) {
+    for (size_t i = 0; i < num_attributes && i < rec.size(); ++i) {
+      if (!rec[i].empty()) distinct[i].insert(rec[i]);
+    }
+  }
+  std::vector<double> weights(num_attributes);
+  for (size_t i = 0; i < num_attributes; ++i) {
+    // Guard against a constant column receiving zero weight everywhere.
+    weights[i] = static_cast<double>(distinct[i].size() ? distinct[i].size() : 1);
+  }
+  return weights;
+}
+
+}  // namespace humo::text

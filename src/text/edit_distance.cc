@@ -1,0 +1,91 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace humo::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t prev_diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cur = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1,        // deletion
+                         row[j - 1] + 1,    // insertion
+                         prev_diag + cost}); // substitution
+      prev_diag = cur;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  // Three rolling rows: i-2, i-1, i.
+  std::vector<size_t> row0(m + 1), row1(m + 1), row2(m + 1);
+  std::iota(row1.begin(), row1.end(), size_t{0});
+
+  for (size_t i = 1; i <= n; ++i) {
+    row2[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row2[j] = std::min({row1[j] + 1, row2[j - 1] + 1, row1[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        row2[j] = std::min(row2[j], row0[j - 2] + 1);  // transposition
+      }
+    }
+    std::swap(row0, row1);
+    std::swap(row1, row2);
+  }
+  return row1[m];
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1
+                                      : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double LcsSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  return 2.0 * static_cast<double>(LongestCommonSubsequence(a, b)) /
+         static_cast<double>(a.size() + b.size());
+}
+
+size_t HammingDistance(std::string_view a, std::string_view b) {
+  assert(a.size() == b.size());
+  size_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++d;
+  return d;
+}
+
+}  // namespace humo::text

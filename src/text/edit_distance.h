@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace humo::text {
+
+/// Levenshtein (unit-cost insert/delete/substitute) distance.
+/// O(|a|*|b|) time, O(min(|a|,|b|)) memory.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein similarity in [0,1]: 1 - dist / max(|a|,|b|). Two empty
+/// strings have similarity 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Damerau-Levenshtein distance (restricted: adjacent transpositions count as
+/// a single edit, no substring re-editing).
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Longest common subsequence length.
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
+
+/// LCS-based similarity in [0,1]: 2*LCS / (|a|+|b|).
+double LcsSimilarity(std::string_view a, std::string_view b);
+
+/// Hamming distance; strings must have equal length (asserts).
+size_t HammingDistance(std::string_view a, std::string_view b);
+
+}  // namespace humo::text

@@ -1,0 +1,61 @@
+#include "text/jaro.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace humo::text {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t len_a = a.size(), len_b = b.size();
+  // Match window: floor(max/2) - 1, at least 0.
+  const size_t max_len = std::max(len_a, len_b);
+  const size_t window = max_len / 2 == 0 ? 0 : max_len / 2 - 1;
+
+  std::vector<bool> a_matched(len_a, false), b_matched(len_b, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    const size_t lo = (i > window) ? i - window : 0;
+    const size_t hi = std::min(i + window + 1, len_b);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(len_a) + m / static_cast<double>(len_b) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight, int max_prefix) {
+  const double jaro = JaroSimilarity(a, b);
+  int prefix = 0;
+  const size_t limit =
+      std::min({a.size(), b.size(), static_cast<size_t>(max_prefix)});
+  while (static_cast<size_t>(prefix) < limit &&
+         a[static_cast<size_t>(prefix)] == b[static_cast<size_t>(prefix)]) {
+    ++prefix;
+  }
+  return jaro + static_cast<double>(prefix) * prefix_weight * (1.0 - jaro);
+}
+
+}  // namespace humo::text

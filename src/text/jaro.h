@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string_view>
+
+namespace humo::text {
+
+/// Jaro similarity in [0,1]. Two empty strings are defined to have
+/// similarity 1; one empty string against a non-empty one has similarity 0.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by common-prefix length (up to
+/// `max_prefix` characters, default 4) scaled by `prefix_weight` (default
+/// 0.1, which keeps the result <= 1). This is the venue-attribute metric used
+/// by the paper on the DBLP-Scholar workload.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight = 0.1, int max_prefix = 4);
+
+}  // namespace humo::text

@@ -1,0 +1,70 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+namespace humo::text {
+namespace {
+
+/// Soundex digit class of a letter; 0 = vowel-like (dropped), 7 = h/w
+/// (transparent for adjacency).
+char DigitOf(char c) {
+  switch (c) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k': case 'q': case 's': case 'x':
+    case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    case 'h': case 'w':
+      return '7';  // transparent
+    default:
+      return '0';  // vowels a e i o u y
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  // Find the first alphabetic character.
+  size_t start = 0;
+  while (start < word.size() &&
+         !std::isalpha(static_cast<unsigned char>(word[start]))) {
+    ++start;
+  }
+  if (start == word.size()) return "";
+
+  const char first = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(word[start])));
+  std::string code(1, first);
+  char prev_digit = DigitOf(static_cast<char>(
+      std::tolower(static_cast<unsigned char>(word[start]))));
+
+  for (size_t i = start + 1; i < word.size() && code.size() < 4; ++i) {
+    const unsigned char uc = static_cast<unsigned char>(word[i]);
+    if (!std::isalpha(uc)) break;  // stop at the first non-letter
+    const char digit = DigitOf(static_cast<char>(std::tolower(uc)));
+    if (digit == '7') continue;  // h/w: transparent, prev_digit survives
+    if (digit == '0') {
+      prev_digit = '0';  // vowel: resets adjacency
+      continue;
+    }
+    if (digit != prev_digit) code.push_back(digit);
+    prev_digit = digit;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+bool SoundexEquals(std::string_view a, std::string_view b) {
+  const std::string ca = Soundex(a), cb = Soundex(b);
+  return !ca.empty() && ca == cb;
+}
+
+}  // namespace humo::text

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace humo::text {
+
+/// American Soundex code of a word ("robert" -> "R163"). Non-alphabetic
+/// leading characters make the code empty. Standard algorithm: keep the
+/// first letter, map consonants to digit classes, collapse adjacent
+/// duplicates (including across h/w), drop vowels, pad/truncate to 4.
+std::string Soundex(std::string_view word);
+
+/// True when two words share a Soundex code (a cheap phonetic blocking
+/// predicate for person-name attributes).
+bool SoundexEquals(std::string_view a, std::string_view b);
+
+}  // namespace humo::text

@@ -1,0 +1,49 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace humo::text {
+
+void TfIdfModel::Fit(const std::vector<std::vector<std::string>>& corpus) {
+  doc_freq_.clear();
+  num_documents_ = corpus.size();
+  for (const auto& doc : corpus) {
+    std::unordered_set<std::string> seen(doc.begin(), doc.end());
+    for (const auto& t : seen) ++doc_freq_[t];
+  }
+}
+
+double TfIdfModel::Idf(const std::string& token) const {
+  const auto it = doc_freq_.find(token);
+  const double df = (it == doc_freq_.end()) ? 0.0 : static_cast<double>(it->second);
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) + 1.0;
+}
+
+SparseVector TfIdfModel::Transform(const std::vector<std::string>& doc) const {
+  SparseVector v;
+  for (const auto& t : doc) v[t] += 1.0;
+  double norm_sq = 0.0;
+  for (auto& [tok, tf] : v) {
+    tf *= Idf(tok);
+    norm_sq += tf * tf;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [tok, w] : v) w *= inv;
+  }
+  return v;
+}
+
+double TfIdfModel::Cosine(const SparseVector& a, const SparseVector& b) {
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [tok, w] : small) {
+    const auto it = large.find(tok);
+    if (it != large.end()) dot += w * it->second;
+  }
+  return dot;
+}
+
+}  // namespace humo::text

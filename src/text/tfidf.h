@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace humo::text {
+
+/// Sparse TF-IDF vector: token -> weight.
+using SparseVector = std::unordered_map<std::string, double>;
+
+/// Corpus-level TF-IDF model. Fit on a collection of documents (each a token
+/// list), then transform documents into L2-normalized sparse vectors whose
+/// dot product is the cosine similarity.
+class TfIdfModel {
+ public:
+  /// Builds document frequencies from the corpus.
+  void Fit(const std::vector<std::vector<std::string>>& corpus);
+
+  /// Number of documents seen during Fit.
+  size_t num_documents() const { return num_documents_; }
+
+  /// Smoothed inverse document frequency of `token`:
+  /// log((1 + N) / (1 + df)) + 1.
+  double Idf(const std::string& token) const;
+
+  /// TF-IDF vector of a document, L2-normalized. Term frequency is raw count.
+  SparseVector Transform(const std::vector<std::string>& doc) const;
+
+  /// Cosine similarity between two already-normalized sparse vectors.
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+ private:
+  std::unordered_map<std::string, size_t> doc_freq_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace humo::text

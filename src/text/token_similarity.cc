@@ -1,0 +1,77 @@
+#include "text/token_similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/jaro.h"
+#include "text/tokenizer.h"
+
+namespace humo::text {
+namespace {
+
+size_t IntersectionSize(const std::unordered_set<std::string>& sa,
+                        const std::unordered_set<std::string>& sb) {
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  size_t n = 0;
+  for (const auto& t : small)
+    if (large.count(t)) ++n;
+  return n;
+}
+
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  const auto sa = TokenSet(a), sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaccardSimilarity(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(WordTokens(NormalizeForMatching(a)),
+                           WordTokens(NormalizeForMatching(b)));
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  const auto sa = TokenSet(a), sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size());
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  const auto sa = TokenSet(a), sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  return JaccardSimilarity(QGrams(a, q), QGrams(b, q));
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& ta : a) {
+    double best = 0.0;
+    for (const auto& tb : b)
+      best = std::max(best, JaroWinklerSimilarity(ta, tb));
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace humo::text

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace humo::text {
+
+/// Jaccard similarity |A∩B| / |A∪B| over token multiset-deduplicated sets.
+/// Two empty token lists have similarity 1. This is the title/authors metric
+/// used by the paper on DBLP-Scholar and the name/description metric on
+/// Abt-Buy.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Convenience overload: normalizes both strings (lower-case, strip
+/// punctuation), word-tokenizes, and computes Jaccard.
+double JaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Sørensen-Dice coefficient 2|A∩B| / (|A|+|B|).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// Overlap coefficient |A∩B| / min(|A|,|B|).
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Jaccard over padded character q-grams.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+/// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match in
+/// `b`. Asymmetric; callers wanting symmetry should average both directions.
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+}  // namespace humo::text

@@ -1,0 +1,131 @@
+#include "actl/active_learning.h"
+
+#include <gtest/gtest.h>
+
+#include "data/logistic_generator.h"
+#include "data/pair_simulator.h"
+#include "eval/evaluation.h"
+
+namespace humo::actl {
+namespace {
+
+data::Workload MakeWorkload(double tau = 14.0, uint64_t seed = 1) {
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = 40000;
+  o.pairs_per_subset = 200;
+  o.tau = tau;
+  o.sigma = 0.05;
+  o.seed = seed;
+  return data::GenerateLogisticWorkload(o);
+}
+
+TEST(ActlTest, MeetsPrecisionTarget) {
+  const data::Workload w = MakeWorkload();
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  ActiveLearningResolver actl;
+  auto result = actl.Resolve(p, 0.9, &oracle);
+  ASSERT_TRUE(result.ok());
+  const auto q = eval::QualityOf(w, result->labels);
+  EXPECT_GE(q.precision, 0.85);  // certified with confidence, allow slack
+}
+
+TEST(ActlTest, HigherTargetPrecisionLowersRecall) {
+  const data::Workload w = MakeWorkload();
+  core::SubsetPartition p(&w, 200);
+  auto recall_at = [&](double target) {
+    core::Oracle oracle(&w);
+    ActiveLearningResolver actl;
+    auto result = actl.Resolve(p, target, &oracle);
+    EXPECT_TRUE(result.ok());
+    return eval::QualityOf(w, result->labels).recall;
+  };
+  EXPECT_GE(recall_at(0.75), recall_at(0.95) - 1e-9);
+}
+
+TEST(ActlTest, NoRecallGuaranteeOnHardWorkload) {
+  // On an AB-like workload with no pure high-similarity region, ACTL's
+  // recall should collapse (the paper's Table VI phenomenon).
+  const data::Workload w = data::SimulatePairs(data::AbConfigSmall(2, 60000));
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  ActiveLearningResolver actl;
+  auto result = actl.Resolve(p, 0.9, &oracle);
+  ASSERT_TRUE(result.ok());
+  const auto q = eval::QualityOf(w, result->labels);
+  EXPECT_LT(q.recall, 0.6);
+}
+
+TEST(ActlTest, HumanCostIsSamplingOnly) {
+  const data::Workload w = MakeWorkload();
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  ActlOptions o;
+  o.samples_per_probe = 50;
+  ActiveLearningResolver actl(o);
+  auto result = actl.Resolve(p, 0.9, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->human_cost, oracle.cost());
+  // Cost must be far below exhaustive labeling.
+  EXPECT_LT(result->human_cost_fraction, 0.2);
+}
+
+TEST(ActlTest, LabelsAreThresholdConsistent) {
+  const data::Workload w = MakeWorkload();
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  ActiveLearningResolver actl;
+  auto result = actl.Resolve(p, 0.85, &oracle);
+  ASSERT_TRUE(result.ok());
+  // All pairs above the threshold subset are 1, all below are 0.
+  if (result->threshold_subset < p.num_subsets()) {
+    const size_t cut = p[result->threshold_subset].begin;
+    for (size_t i = 0; i < cut; ++i) EXPECT_EQ(result->labels[i], 0);
+    for (size_t i = cut; i < w.size(); ++i) EXPECT_EQ(result->labels[i], 1);
+  }
+}
+
+TEST(ActlTest, ImpossibleTargetLabelsNothing) {
+  // A workload where even the purest region is ~50% matches cannot certify
+  // precision 0.99: expect everything labeled unmatch.
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = 20000;
+  o.tau = 2.0;     // very flat curve
+  o.ceiling = 0.5; // max proportion 0.5
+  o.sigma = 0.0;
+  const data::Workload w = data::GenerateLogisticWorkload(o);
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  ActiveLearningResolver actl;
+  auto result = actl.Resolve(p, 0.99, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->threshold_subset, p.num_subsets());
+  for (int l : result->labels) EXPECT_EQ(l, 0);
+}
+
+TEST(ActlTest, RejectsBadInputs) {
+  const data::Workload w = MakeWorkload();
+  core::SubsetPartition p(&w, 200);
+  ActiveLearningResolver actl;
+  EXPECT_FALSE(actl.Resolve(p, 0.9, nullptr).ok());
+  core::Oracle oracle(&w);
+  EXPECT_FALSE(actl.Resolve(p, 0.0, &oracle).ok());
+  EXPECT_FALSE(actl.Resolve(p, 1.5, &oracle).ok());
+}
+
+TEST(ActlTest, DeterministicUnderSeed) {
+  const data::Workload w = MakeWorkload();
+  core::SubsetPartition p(&w, 200);
+  ActlOptions o;
+  o.seed = 11;
+  core::Oracle o1(&w), o2(&w);
+  auto a = ActiveLearningResolver(o).Resolve(p, 0.9, &o1);
+  auto b = ActiveLearningResolver(o).Resolve(p, 0.9, &o2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->threshold_subset, b->threshold_subset);
+  EXPECT_EQ(a->human_cost, b->human_cost);
+}
+
+}  // namespace
+}  // namespace humo::actl

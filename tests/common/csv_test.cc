@@ -1,0 +1,128 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace humo {
+namespace {
+
+TEST(CsvReaderTest, ParsesSimpleDocument) {
+  CsvReader reader;
+  auto doc = reader.Parse("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][2], "6");
+}
+
+TEST(CsvReaderTest, NoHeaderMode) {
+  CsvReader reader;
+  auto doc = reader.Parse("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->header.empty());
+  EXPECT_EQ(doc->rows.size(), 2u);
+}
+
+TEST(CsvReaderTest, QuotedFieldWithSeparator) {
+  CsvReader reader;
+  auto doc = reader.Parse("name,desc\nfoo,\"a, b\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][1], "a, b");
+}
+
+TEST(CsvReaderTest, EscapedQuote) {
+  CsvReader reader;
+  auto doc = reader.Parse("x\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReaderTest, EmbeddedNewlineInQuotedField) {
+  CsvReader reader;
+  auto doc = reader.Parse("x,y\n\"line1\nline2\",z\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "line1\nline2");
+  EXPECT_EQ(doc->rows[0][1], "z");
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  CsvReader reader;
+  auto doc = reader.Parse("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "1");
+}
+
+TEST(CsvReaderTest, MissingFinalNewline) {
+  CsvReader reader;
+  auto doc = reader.Parse("a,b\n1,2");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvReaderTest, RejectsRaggedRows) {
+  CsvReader reader;
+  auto doc = reader.Parse("a,b\n1,2,3\n");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReaderTest, RejectsUnterminatedQuote) {
+  CsvReader reader;
+  auto doc = reader.Parse("a\n\"oops\n");
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(CsvReaderTest, CustomSeparator) {
+  CsvReader reader(';');
+  auto doc = reader.Parse("a;b\n1;2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvReaderTest, ColumnIndex) {
+  CsvReader reader;
+  auto doc = reader.Parse("id,title,year\n1,t,2020\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->ColumnIndex("title"), 1);
+  EXPECT_EQ(doc->ColumnIndex("nope"), -1);
+}
+
+TEST(CsvReaderTest, ReadFileMissing) {
+  CsvReader reader;
+  auto doc = reader.ReadFile("/nonexistent/path.csv");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvWriterTest, RoundTripsWithQuoting) {
+  CsvDocument doc;
+  doc.header = {"name", "note"};
+  doc.rows = {{"plain", "has, comma"}, {"quote\"inside", "multi\nline"}};
+  CsvWriter writer;
+  const std::string text = writer.Serialize(doc);
+  CsvReader reader;
+  auto parsed = reader.Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, doc.header);
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvWriterTest, WriteFileAndReadBack) {
+  const std::string path = testing::TempDir() + "/humo_csv_test.csv";
+  CsvDocument doc;
+  doc.header = {"a"};
+  doc.rows = {{"1"}, {"2"}};
+  CsvWriter writer;
+  ASSERT_TRUE(writer.WriteFile(path, doc).ok());
+  CsvReader reader;
+  auto parsed = reader.ReadFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace humo

@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace humo {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // silence output below error
+  HUMO_LOG(Info) << "value=" << 42 << " name=" << "x";
+  HUMO_LOG(Debug) << "suppressed";
+  SetLogLevel(before);
+  SUCCEED();
+}
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace humo

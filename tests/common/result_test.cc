@@ -1,0 +1,60 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace humo {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 1;
+  Result<int> err = Status::Internal("boom");
+  EXPECT_EQ(ok.value_or(9), 1);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  HUMO_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(UseAssignOrReturn(-3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace humo

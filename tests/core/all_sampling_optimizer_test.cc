@@ -1,0 +1,131 @@
+#include "core/all_sampling_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solution.h"
+#include "data/logistic_generator.h"
+#include "eval/evaluation.h"
+
+namespace humo::core {
+namespace {
+
+data::Workload MakeWorkload(double tau = 14.0, double sigma = 0.05,
+                            uint64_t seed = 1, size_t n = 40000) {
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = n;
+  o.pairs_per_subset = 200;
+  o.tau = tau;
+  o.sigma = sigma;
+  o.seed = seed;
+  return data::GenerateLogisticWorkload(o);
+}
+
+TEST(AllSamplingOptimizerTest, MeetsQualityOnSmoothWorkload) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  Oracle oracle(&w);
+  AllSamplingOptimizer opt;
+  QualityRequirement req{0.9, 0.9, 0.9};
+  auto sol = opt.Optimize(p, req, &oracle);
+  ASSERT_TRUE(sol.ok());
+  const auto result = ApplySolution(p, *sol, &oracle);
+  const auto q = eval::QualityOf(w, result.labels);
+  EXPECT_GE(q.precision, 0.9);
+  EXPECT_GE(q.recall, 0.9);
+}
+
+TEST(AllSamplingOptimizerTest, SamplesEverySubset) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  Oracle oracle(&w);
+  AllSamplingOptions o;
+  o.samples_per_subset = 10;
+  AllSamplingOptimizer opt(o);
+  QualityRequirement req{0.9, 0.9, 0.9};
+  ASSERT_TRUE(opt.Optimize(p, req, &oracle).ok());
+  // Sampling cost alone: at least 10 per subset (dedup may reduce none here).
+  EXPECT_GE(oracle.cost(), p.num_subsets() * 10);
+}
+
+TEST(AllSamplingOptimizerTest, SucceedsAcrossSeeds) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  QualityRequirement req{0.85, 0.85, 0.9};
+  size_t successes = 0;
+  const size_t trials = 10;
+  for (size_t t = 0; t < trials; ++t) {
+    Oracle oracle(&w);
+    AllSamplingOptions o;
+    o.seed = 1000 + t;
+    auto sol = AllSamplingOptimizer(o).Optimize(p, req, &oracle);
+    ASSERT_TRUE(sol.ok());
+    const auto result = ApplySolution(p, *sol, &oracle);
+    const auto q = eval::QualityOf(w, result.labels);
+    if (q.precision >= req.alpha && q.recall >= req.beta) ++successes;
+  }
+  // Confidence 0.9 per metric; allow slack on 10 trials.
+  EXPECT_GE(successes, 8u);
+}
+
+TEST(AllSamplingOptimizerTest, MoreSamplesTightenSolution) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  QualityRequirement req{0.9, 0.9, 0.9};
+  auto dh_size_with = [&](size_t samples) {
+    Oracle oracle(&w);
+    AllSamplingOptions o;
+    o.samples_per_subset = samples;
+    auto sol = AllSamplingOptimizer(o).Optimize(p, req, &oracle);
+    EXPECT_TRUE(sol.ok());
+    return p.PairsInRange(sol->h_lo, sol->h_hi);
+  };
+  // With more evidence per subset the error margins shrink, so DH should
+  // not grow.
+  EXPECT_LE(dh_size_with(50), dh_size_with(5) + 400);
+}
+
+TEST(AllSamplingOptimizerTest, HandlesNonMonotoneWorkload) {
+  // sigma = 0.5 destroys monotonicity; sampling-based bounds do not rely
+  // on it and should still deliver quality.
+  const data::Workload w = MakeWorkload(14.0, 0.5, 3);
+  SubsetPartition p(&w, 200);
+  Oracle oracle(&w);
+  AllSamplingOptions o;
+  o.samples_per_subset = 40;
+  AllSamplingOptimizer opt(o);
+  QualityRequirement req{0.9, 0.9, 0.9};
+  auto sol = opt.Optimize(p, req, &oracle);
+  ASSERT_TRUE(sol.ok());
+  const auto result = ApplySolution(p, *sol, &oracle);
+  const auto q = eval::QualityOf(w, result.labels);
+  EXPECT_GE(q.precision, 0.88);
+  EXPECT_GE(q.recall, 0.88);
+}
+
+TEST(AllSamplingOptimizerTest, RejectsBadInputs) {
+  const data::Workload w = MakeWorkload(14.0, 0.05, 1, 2000);
+  SubsetPartition p(&w, 200);
+  QualityRequirement req{0.9, 0.9, 0.9};
+  AllSamplingOptimizer opt;
+  EXPECT_FALSE(opt.Optimize(p, req, nullptr).ok());
+  AllSamplingOptions zero;
+  zero.samples_per_subset = 0;
+  Oracle oracle(&w);
+  EXPECT_FALSE(AllSamplingOptimizer(zero).Optimize(p, req, &oracle).ok());
+}
+
+TEST(AllSamplingOptimizerTest, HigherConfidenceWidensDh) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  auto dh_at_theta = [&](double theta) {
+    Oracle oracle(&w);
+    QualityRequirement req{0.9, 0.9, theta};
+    auto sol = AllSamplingOptimizer().Optimize(p, req, &oracle);
+    EXPECT_TRUE(sol.ok());
+    return p.PairsInRange(sol->h_lo, sol->h_hi);
+  };
+  EXPECT_LE(dh_at_theta(0.6), dh_at_theta(0.99) + 200);
+}
+
+}  // namespace
+}  // namespace humo::core

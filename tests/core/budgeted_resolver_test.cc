@@ -1,0 +1,102 @@
+#include "core/budgeted_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solution.h"
+#include "data/logistic_generator.h"
+#include "eval/evaluation.h"
+
+namespace humo::core {
+namespace {
+
+data::Workload MakeWorkload(uint64_t seed = 1) {
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = 40000;
+  o.pairs_per_subset = 200;
+  o.tau = 12.0;
+  o.sigma = 0.05;
+  o.seed = seed;
+  return data::GenerateLogisticWorkload(o);
+}
+
+TEST(BudgetedResolverTest, RespectsBudget) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  for (size_t budget : {1000ul, 4000ul, 10000ul}) {
+    Oracle oracle(&w);
+    auto sol = BudgetedResolver().Resolve(p, budget, &oracle);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_LE(oracle.cost(), budget);
+  }
+}
+
+TEST(BudgetedResolverTest, QualityImprovesWithBudget) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  double prev_f1 = -1.0;
+  for (size_t budget : {1000ul, 5000ul, 15000ul, 30000ul}) {
+    Oracle oracle(&w);
+    auto sol = BudgetedResolver().Resolve(p, budget, &oracle);
+    ASSERT_TRUE(sol.ok());
+    const auto result = ApplySolution(p, *sol, &oracle);
+    EXPECT_LE(result.human_cost, budget);
+    const auto q = eval::QualityOf(w, result.labels);
+    // Pay-as-you-go: monotone improvement (small slack for window noise).
+    EXPECT_GE(q.f1 + 0.02, prev_f1) << "budget " << budget;
+    prev_f1 = q.f1;
+  }
+}
+
+TEST(BudgetedResolverTest, ZeroBudgetIsMachineOnly) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  Oracle oracle(&w);
+  auto sol = BudgetedResolver().Resolve(p, 0, &oracle);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->empty);
+  EXPECT_EQ(oracle.cost(), 0u);
+  const auto result = ApplySolution(p, *sol, &oracle);
+  EXPECT_EQ(result.human_cost, 0u);
+  // Machine-only still beats nothing: the midpoint split catches the bulk.
+  const auto q = eval::QualityOf(w, result.labels);
+  EXPECT_GT(q.f1, 0.5);
+}
+
+TEST(BudgetedResolverTest, FullBudgetApproachesPerfect) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  Oracle oracle(&w);
+  auto sol = BudgetedResolver().Resolve(p, w.size(), &oracle);
+  ASSERT_TRUE(sol.ok());
+  const auto result = ApplySolution(p, *sol, &oracle);
+  const auto q = eval::QualityOf(w, result.labels);
+  EXPECT_GT(q.f1, 0.97);
+}
+
+TEST(BudgetedResolverTest, SpendsWhereErrorsAre) {
+  // The verified zone should cover the transition band, not the extremes.
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  Oracle oracle(&w);
+  auto sol = BudgetedResolver().Resolve(p, 8000, &oracle);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_FALSE(sol->empty);
+  // The logistic midpoint is 0.55: the verified zone should straddle it.
+  const double lo_sim = p[sol->h_lo].avg_similarity;
+  const double hi_sim = p[sol->h_hi].avg_similarity;
+  EXPECT_LT(lo_sim, 0.62);
+  EXPECT_GT(hi_sim, 0.48);
+}
+
+TEST(BudgetedResolverTest, RejectsBadInputs) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  EXPECT_FALSE(BudgetedResolver().Resolve(p, 100, nullptr).ok());
+  const data::Workload empty;
+  SubsetPartition pe(&empty, 200);
+  Oracle oracle(&empty);
+  EXPECT_FALSE(BudgetedResolver().Resolve(pe, 100, &oracle).ok());
+}
+
+}  // namespace
+}  // namespace humo::core

@@ -1,0 +1,99 @@
+#include "core/crowd_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "data/logistic_generator.h"
+
+namespace humo::core {
+namespace {
+
+data::Workload MakeWorkload(size_t n = 10000) {
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = n;
+  o.pairs_per_subset = 100;
+  return data::GenerateLogisticWorkload(o);
+}
+
+TEST(CrowdOracleTest, PerfectWorkersGiveGroundTruth) {
+  const data::Workload w = MakeWorkload(1000);
+  CrowdOptions o;
+  o.worker_error_rate = 0.0;
+  CrowdOracle crowd(&w, o);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(crowd.Label(i), w[i].is_match);
+  }
+  EXPECT_DOUBLE_EQ(crowd.VerdictErrorRate(), 0.0);
+}
+
+TEST(CrowdOracleTest, CostCountsWorkerAnswers) {
+  const data::Workload w = MakeWorkload(1000);
+  CrowdOptions o;
+  o.workers_per_pair = 5;
+  CrowdOracle crowd(&w, o);
+  crowd.Label(0);
+  crowd.Label(1);
+  crowd.Label(0);  // cached: no extra cost
+  EXPECT_EQ(crowd.worker_answers(), 10u);
+  EXPECT_EQ(crowd.pairs_adjudicated(), 2u);
+  EXPECT_DOUBLE_EQ(crowd.CostFraction(), 10.0 / 1000.0);
+}
+
+TEST(CrowdOracleTest, VerdictsAreStableAcrossRequeries) {
+  const data::Workload w = MakeWorkload(500);
+  CrowdOptions o;
+  o.worker_error_rate = 0.4;
+  CrowdOracle crowd(&w, o);
+  std::vector<bool> first;
+  for (size_t i = 0; i < 100; ++i) first.push_back(crowd.Label(i));
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(crowd.Label(i), first[i]);
+}
+
+TEST(CrowdOracleTest, MajorityVoteBeatsSingleWorker) {
+  const data::Workload w = MakeWorkload(20000);
+  CrowdOptions one;
+  one.workers_per_pair = 1;
+  one.worker_error_rate = 0.2;
+  CrowdOptions five = one;
+  five.workers_per_pair = 5;
+  CrowdOracle single(&w, one), majority(&w, five);
+  for (size_t i = 0; i < w.size(); ++i) {
+    single.Label(i);
+    majority.Label(i);
+  }
+  // e=0.2: single-worker error 20%; 5-vote majority error ~5.8%.
+  EXPECT_NEAR(single.VerdictErrorRate(), 0.2, 0.02);
+  EXPECT_NEAR(majority.VerdictErrorRate(), 0.058, 0.02);
+  EXPECT_LT(majority.VerdictErrorRate(), single.VerdictErrorRate());
+}
+
+TEST(CrowdOracleTest, VerdictErrorMatchesBinomialTheory) {
+  const data::Workload w = MakeWorkload(20000);
+  CrowdOptions o;
+  o.workers_per_pair = 3;
+  o.worker_error_rate = 0.1;
+  CrowdOracle crowd(&w, o);
+  for (size_t i = 0; i < w.size(); ++i) crowd.Label(i);
+  // P(>=2 of 3 wrong) = 3 * 0.1^2 * 0.9 + 0.1^3 = 0.028.
+  EXPECT_NEAR(crowd.VerdictErrorRate(), 0.028, 0.008);
+}
+
+TEST(CrowdOracleTest, ResetClearsEverything) {
+  const data::Workload w = MakeWorkload(500);
+  CrowdOracle crowd(&w);
+  crowd.Label(0);
+  crowd.Reset();
+  EXPECT_EQ(crowd.worker_answers(), 0u);
+  EXPECT_EQ(crowd.pairs_adjudicated(), 0u);
+}
+
+TEST(CrowdOracleTest, DeterministicUnderSeed) {
+  const data::Workload w = MakeWorkload(500);
+  CrowdOptions o;
+  o.worker_error_rate = 0.3;
+  o.seed = 99;
+  CrowdOracle a(&w, o), b(&w, o);
+  for (size_t i = 0; i < 200; ++i) EXPECT_EQ(a.Label(i), b.Label(i));
+}
+
+}  // namespace
+}  // namespace humo::core

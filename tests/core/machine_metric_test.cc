@@ -1,0 +1,98 @@
+#include "core/machine_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_optimizer.h"
+#include "core/oracle.h"
+#include "core/partition.h"
+#include "core/solution.h"
+#include "data/logistic_generator.h"
+#include "eval/evaluation.h"
+
+namespace humo::core {
+namespace {
+
+data::Workload MakeWorkload() {
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = 40000;
+  o.pairs_per_subset = 200;
+  o.tau = 14.0;
+  o.sigma = 0.05;
+  return data::GenerateLogisticWorkload(o);
+}
+
+ml::Dataset SimilarityDataset(const data::Workload& w) {
+  ml::Dataset d;
+  for (size_t i = 0; i < w.size(); ++i)
+    d.Add({w[i].similarity}, w[i].is_match ? 1 : 0);
+  return d;
+}
+
+TEST(MachineMetricTest, ProbabilityRescorePreservesSizeAndTruth) {
+  const data::Workload w = MakeWorkload();
+  const auto lr = ml::LogisticRegression::Train(SimilarityDataset(w));
+  const data::Workload rescored =
+      RescoreByMatchProbability(w, lr, SimilarityFeature());
+  EXPECT_EQ(rescored.size(), w.size());
+  EXPECT_EQ(rescored.CountMatches(), w.CountMatches());
+  for (size_t i = 0; i < rescored.size(); ++i) {
+    EXPECT_GE(rescored[i].similarity, 0.0);
+    EXPECT_LE(rescored[i].similarity, 1.0);
+  }
+}
+
+TEST(MachineMetricTest, ProbabilityMetricIsMonotoneInSimilarity) {
+  const data::Workload w = MakeWorkload();
+  const auto lr = ml::LogisticRegression::Train(SimilarityDataset(w));
+  const data::Workload rescored =
+      RescoreByMatchProbability(w, lr, SimilarityFeature());
+  // A monotone 1-D model keeps the sorted order: match proportion in the
+  // top decile must dominate the bottom decile.
+  const size_t decile = rescored.size() / 10;
+  size_t bottom = 0, top = 0;
+  for (size_t i = 0; i < decile; ++i) {
+    bottom += rescored[i].is_match;
+    top += rescored[rescored.size() - 1 - i].is_match;
+  }
+  EXPECT_GT(top, bottom * 5);
+}
+
+TEST(MachineMetricTest, SvmRescoreInUnitInterval) {
+  const data::Workload w = MakeWorkload();
+  const auto svm = ml::LinearSvm::Train(SimilarityDataset(w));
+  const data::Workload rescored =
+      RescoreBySvmDistance(w, svm, SimilarityFeature());
+  for (size_t i = 0; i < rescored.size(); ++i) {
+    EXPECT_GE(rescored[i].similarity, 0.0);
+    EXPECT_LE(rescored[i].similarity, 1.0);
+  }
+}
+
+TEST(MachineMetricTest, HumoRunsOnProbabilityMetric) {
+  // §IV-A: HUMO is metric-agnostic — the full pipeline must deliver the
+  // same quality contract on a match-probability-scored workload.
+  const data::Workload w = MakeWorkload();
+  const auto lr = ml::LogisticRegression::Train(SimilarityDataset(w));
+  const data::Workload rescored =
+      RescoreByMatchProbability(w, lr, SimilarityFeature());
+  SubsetPartition p(&rescored, 200);
+  Oracle oracle(&rescored);
+  const QualityRequirement req{0.9, 0.9, 0.9};
+  auto sol = HybridOptimizer().Optimize(p, req, &oracle);
+  ASSERT_TRUE(sol.ok());
+  const auto result = ApplySolution(p, *sol, &oracle);
+  const auto q = eval::QualityOf(rescored, result.labels);
+  EXPECT_GE(q.precision, 0.9);
+  EXPECT_GE(q.recall, 0.9);
+}
+
+TEST(MachineMetricTest, SimilarityFeatureExtracts) {
+  data::InstancePair pair;
+  pair.similarity = 0.42;
+  const auto f = SimilarityFeature()(pair);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f[0], 0.42);
+}
+
+}  // namespace
+}  // namespace humo::core

@@ -1,0 +1,103 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "data/logistic_generator.h"
+
+namespace humo::core {
+namespace {
+
+data::Workload SmallWorkload() {
+  std::vector<data::InstancePair> pairs;
+  for (uint32_t i = 0; i < 10; ++i) {
+    pairs.push_back({i, i, static_cast<double>(i) / 10.0, i >= 5});
+  }
+  return data::Workload(std::move(pairs));
+}
+
+TEST(OracleTest, ReturnsGroundTruth) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(oracle.Label(i), w[i].is_match);
+  }
+}
+
+TEST(OracleTest, CostCountsDistinctPairs) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  EXPECT_EQ(oracle.cost(), 0u);
+  oracle.Label(3);
+  oracle.Label(3);
+  oracle.Label(3);
+  EXPECT_EQ(oracle.cost(), 1u);
+  oracle.Label(4);
+  EXPECT_EQ(oracle.cost(), 2u);
+}
+
+TEST(OracleTest, CostFraction) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  oracle.Label(0);
+  oracle.Label(1);
+  EXPECT_DOUBLE_EQ(oracle.CostFraction(), 0.2);
+}
+
+TEST(OracleTest, WasAsked) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  EXPECT_FALSE(oracle.WasAsked(2));
+  oracle.Label(2);
+  EXPECT_TRUE(oracle.WasAsked(2));
+}
+
+TEST(OracleTest, ResetClearsCost) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  oracle.Label(0);
+  oracle.Reset();
+  EXPECT_EQ(oracle.cost(), 0u);
+  EXPECT_FALSE(oracle.WasAsked(0));
+}
+
+TEST(OracleTest, ErrorRateFlipsSomeAnswers) {
+  const data::Workload w = SmallWorkload();
+  Oracle noisy(&w, /*error_rate=*/0.5, /*seed=*/1);
+  size_t wrong = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (noisy.Label(i) != w[i].is_match) ++wrong;
+  }
+  EXPECT_GT(wrong, 0u);
+  EXPECT_LT(wrong, w.size());
+}
+
+TEST(OracleTest, ErrorsAreStableAcrossRepeatQueries) {
+  const data::Workload w = SmallWorkload();
+  Oracle noisy(&w, 0.5, 7);
+  std::vector<bool> first;
+  for (size_t i = 0; i < w.size(); ++i) first.push_back(noisy.Label(i));
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(noisy.Label(i), first[i]) << "answer changed on re-query " << i;
+  }
+}
+
+TEST(OracleTest, ErrorRateApproximatelyRealized) {
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = 20000;
+  const data::Workload w = data::GenerateLogisticWorkload(o);
+  Oracle noisy(&w, 0.1, 3);
+  size_t wrong = 0;
+  for (size_t i = 0; i < w.size(); ++i)
+    if (noisy.Label(i) != w[i].is_match) ++wrong;
+  EXPECT_NEAR(static_cast<double>(wrong) / w.size(), 0.1, 0.02);
+}
+
+TEST(OracleTest, ZeroErrorRateIsExact) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w, 0.0, 42);
+  for (size_t i = 0; i < w.size(); ++i)
+    EXPECT_EQ(oracle.Label(i), w[i].is_match);
+}
+
+}  // namespace
+}  // namespace humo::core

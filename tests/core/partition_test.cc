@@ -1,0 +1,97 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "data/logistic_generator.h"
+
+namespace humo::core {
+namespace {
+
+data::Workload UniformWorkload(size_t n) {
+  std::vector<data::InstancePair> pairs;
+  for (uint32_t i = 0; i < n; ++i) {
+    pairs.push_back(
+        {i, i, static_cast<double>(i) / static_cast<double>(n), false});
+  }
+  return data::Workload(std::move(pairs));
+}
+
+TEST(PartitionTest, EqualSubsetSizes) {
+  const data::Workload w = UniformWorkload(1000);
+  SubsetPartition p(&w, 100);
+  EXPECT_EQ(p.num_subsets(), 10u);
+  for (size_t k = 0; k < 10; ++k) EXPECT_EQ(p[k].size(), 100u);
+}
+
+TEST(PartitionTest, LastSubsetAbsorbsRemainder) {
+  const data::Workload w = UniformWorkload(1050);
+  SubsetPartition p(&w, 100);
+  EXPECT_EQ(p.num_subsets(), 10u);
+  EXPECT_EQ(p[9].size(), 150u);
+}
+
+TEST(PartitionTest, FewerPairsThanSubsetSize) {
+  const data::Workload w = UniformWorkload(30);
+  SubsetPartition p(&w, 100);
+  EXPECT_EQ(p.num_subsets(), 1u);
+  EXPECT_EQ(p[0].size(), 30u);
+}
+
+TEST(PartitionTest, SubsetsAreContiguousAndCoverAll) {
+  const data::Workload w = UniformWorkload(777);
+  SubsetPartition p(&w, 50);
+  size_t expected_begin = 0;
+  for (size_t k = 0; k < p.num_subsets(); ++k) {
+    EXPECT_EQ(p[k].begin, expected_begin);
+    expected_begin = p[k].end;
+  }
+  EXPECT_EQ(expected_begin, w.size());
+}
+
+TEST(PartitionTest, AvgSimilaritiesAreMonotone) {
+  const data::Workload w = UniformWorkload(1000);
+  SubsetPartition p(&w, 100);
+  for (size_t k = 1; k < p.num_subsets(); ++k) {
+    EXPECT_GT(p[k].avg_similarity, p[k - 1].avg_similarity);
+  }
+}
+
+TEST(PartitionTest, AvgSimilarityValue) {
+  const data::Workload w = UniformWorkload(10);
+  SubsetPartition p(&w, 5);
+  // First subset holds similarities 0.0..0.4: mean 0.2.
+  EXPECT_NEAR(p[0].avg_similarity, 0.2, 1e-9);
+}
+
+TEST(PartitionTest, PairsInRange) {
+  const data::Workload w = UniformWorkload(1000);
+  SubsetPartition p(&w, 100);
+  EXPECT_EQ(p.PairsInRange(0, 9), 1000u);
+  EXPECT_EQ(p.PairsInRange(2, 4), 300u);
+  EXPECT_EQ(p.PairsInRange(5, 5), 100u);
+  EXPECT_EQ(p.PairsInRange(7, 3), 0u);  // inverted range
+}
+
+TEST(PartitionTest, SubsetOf) {
+  const data::Workload w = UniformWorkload(1000);
+  SubsetPartition p(&w, 100);
+  EXPECT_EQ(p.SubsetOf(0), 0u);
+  EXPECT_EQ(p.SubsetOf(99), 0u);
+  EXPECT_EQ(p.SubsetOf(100), 1u);
+  EXPECT_EQ(p.SubsetOf(999), 9u);
+}
+
+TEST(PartitionTest, SubsetOfRemainderTail) {
+  const data::Workload w = UniformWorkload(1050);
+  SubsetPartition p(&w, 100);
+  EXPECT_EQ(p.SubsetOf(1049), 9u);  // absorbed by the final subset
+}
+
+TEST(PartitionTest, EmptyWorkload) {
+  const data::Workload w;
+  SubsetPartition p(&w, 100);
+  EXPECT_EQ(p.num_subsets(), 0u);
+}
+
+}  // namespace
+}  // namespace humo::core

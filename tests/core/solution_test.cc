@@ -1,0 +1,117 @@
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluation.h"
+
+namespace humo::core {
+namespace {
+
+/// 100 pairs: bottom 60 unmatch, top 40 match, with 10 noisy labels in the
+/// middle band so automatic labeling there is imperfect.
+data::Workload MixedWorkload() {
+  std::vector<data::InstancePair> pairs;
+  for (uint32_t i = 0; i < 100; ++i) {
+    const double sim = static_cast<double>(i) / 100.0;
+    bool is_match = i >= 60;
+    if (i >= 45 && i < 55) is_match = (i % 2 == 0);  // noisy middle band
+    pairs.push_back({i, i, sim, is_match});
+  }
+  return data::Workload(std::move(pairs));
+}
+
+TEST(ApplySolutionTest, LabelsZonesCorrectly) {
+  const data::Workload w = MixedWorkload();
+  SubsetPartition p(&w, 10);  // 10 subsets of 10
+  Oracle oracle(&w);
+  HumoSolution sol;
+  sol.h_lo = 4;
+  sol.h_hi = 5;  // pairs 40..59 human-labeled
+  const auto result = ApplySolution(p, sol, &oracle);
+  ASSERT_EQ(result.labels.size(), 100u);
+  // D-: all unmatch.
+  for (size_t i = 0; i < 40; ++i) EXPECT_EQ(result.labels[i], 0);
+  // DH: exactly ground truth (perfect oracle).
+  for (size_t i = 40; i < 60; ++i)
+    EXPECT_EQ(result.labels[i], w[i].is_match ? 1 : 0);
+  // D+: all match.
+  for (size_t i = 60; i < 100; ++i) EXPECT_EQ(result.labels[i], 1);
+}
+
+TEST(ApplySolutionTest, HumanCostEqualsDhSize) {
+  const data::Workload w = MixedWorkload();
+  SubsetPartition p(&w, 10);
+  Oracle oracle(&w);
+  HumoSolution sol;
+  sol.h_lo = 3;
+  sol.h_hi = 6;
+  const auto result = ApplySolution(p, sol, &oracle);
+  EXPECT_EQ(result.human_cost, 40u);
+  EXPECT_DOUBLE_EQ(result.human_cost_fraction, 0.4);
+}
+
+TEST(ApplySolutionTest, CostIncludesPriorSampling) {
+  const data::Workload w = MixedWorkload();
+  SubsetPartition p(&w, 10);
+  Oracle oracle(&w);
+  oracle.Label(0);  // sampling outside DH
+  oracle.Label(45); // sampling inside DH (not double-counted)
+  HumoSolution sol;
+  sol.h_lo = 4;
+  sol.h_hi = 4;
+  const auto result = ApplySolution(p, sol, &oracle);
+  EXPECT_EQ(result.human_cost, 11u);  // 10 DH pairs + 1 outside sample
+}
+
+TEST(ApplySolutionTest, FullHumanSolutionIsPerfect) {
+  const data::Workload w = MixedWorkload();
+  SubsetPartition p(&w, 10);
+  Oracle oracle(&w);
+  HumoSolution sol;
+  sol.h_lo = 0;
+  sol.h_hi = 9;
+  const auto result = ApplySolution(p, sol, &oracle);
+  const auto q = eval::QualityOf(w, result.labels);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_EQ(result.human_cost, 100u);
+}
+
+TEST(ApplySolutionTest, EmptySolutionIsMachineOnly) {
+  const data::Workload w = MixedWorkload();
+  SubsetPartition p(&w, 10);
+  Oracle oracle(&w);
+  HumoSolution sol;
+  sol.empty = true;
+  sol.h_lo = 5;  // split point: subsets >= 5 labeled match
+  const auto result = ApplySolution(p, sol, &oracle);
+  EXPECT_EQ(result.human_cost, 0u);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(result.labels[i], 0);
+  for (size_t i = 50; i < 100; ++i) EXPECT_EQ(result.labels[i], 1);
+}
+
+TEST(SolutionTest, NumHumanSubsets) {
+  HumoSolution sol;
+  sol.h_lo = 2;
+  sol.h_hi = 5;
+  EXPECT_EQ(sol.NumHumanSubsets(), 4u);
+  sol.empty = true;
+  EXPECT_EQ(sol.NumHumanSubsets(), 0u);
+}
+
+TEST(DescribeSolutionTest, RendersRangeAndCounts) {
+  const data::Workload w = MixedWorkload();
+  SubsetPartition p(&w, 10);
+  HumoSolution sol;
+  sol.h_lo = 2;
+  sol.h_hi = 5;
+  const std::string desc = DescribeSolution(p, sol);
+  EXPECT_NE(desc.find("[2, 5]"), std::string::npos);
+  EXPECT_NE(desc.find("4 subsets"), std::string::npos);
+  EXPECT_NE(desc.find("40 pairs"), std::string::npos);
+  sol.empty = true;
+  EXPECT_NE(DescribeSolution(p, sol).find("machine-only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace humo::core

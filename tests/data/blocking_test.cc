@@ -1,0 +1,155 @@
+#include "data/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "text/token_similarity.h"
+
+namespace humo::data {
+namespace {
+
+RecordTable LeftTable() {
+  RecordTable t({"name"});
+  EXPECT_TRUE(t.Add({0, 100, {"alpha beta gamma"}}).ok());
+  EXPECT_TRUE(t.Add({1, 101, {"delta epsilon"}}).ok());
+  return t;
+}
+
+RecordTable RightTable() {
+  RecordTable t({"name"});
+  EXPECT_TRUE(t.Add({0, 100, {"alpha beta gamma"}}).ok());   // exact dup
+  EXPECT_TRUE(t.Add({1, 102, {"zeta eta theta"}}).ok());     // unrelated
+  EXPECT_TRUE(t.Add({2, 101, {"delta epsilon extra"}}).ok()); // near dup
+  return t;
+}
+
+double NameScorer(const Record& a, const Record& b) {
+  return text::JaccardSimilarity(a.attributes[0], b.attributes[0]);
+}
+
+TEST(ThresholdBlockTest, KeepsOnlyAboveThreshold) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  const Workload w = ThresholdBlock(left, right, NameScorer, 0.5);
+  // alpha/alpha (1.0) and delta/delta-extra (2/3) survive at 0.5.
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.CountMatches(), 2u);
+}
+
+TEST(ThresholdBlockTest, ZeroThresholdKeepsCrossProduct) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  const Workload w = ThresholdBlock(left, right, NameScorer, 0.0);
+  EXPECT_EQ(w.size(), left.size() * right.size());
+}
+
+TEST(ThresholdBlockTest, GroundTruthFromEntityIds) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  const Workload w = ThresholdBlock(left, right, NameScorer, 0.0);
+  size_t matches = 0;
+  for (size_t i = 0; i < w.size(); ++i) matches += w[i].is_match;
+  EXPECT_EQ(matches, 2u);
+}
+
+TEST(ThresholdBlockTest, OutputSorted) {
+  const Workload w =
+      ThresholdBlock(LeftTable(), RightTable(), NameScorer, 0.0);
+  for (size_t i = 1; i < w.size(); ++i)
+    EXPECT_LE(w[i - 1].similarity, w[i].similarity);
+}
+
+TEST(TokenBlockTest, FindsSharedTokenCandidates) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  const Workload w = TokenBlock(left, right, 0, NameScorer, 0.1);
+  // Same surviving pairs as threshold blocking at 0.1 since all matching
+  // pairs share tokens.
+  const Workload full = ThresholdBlock(left, right, NameScorer, 0.1);
+  EXPECT_EQ(w.size(), full.size());
+  EXPECT_EQ(w.CountMatches(), full.CountMatches());
+}
+
+TEST(TokenBlockTest, SkipsTokenDisjointPairs) {
+  RecordTable left({"name"});
+  ASSERT_TRUE(left.Add({0, 1, {"aaa bbb"}}).ok());
+  RecordTable right({"name"});
+  ASSERT_TRUE(right.Add({0, 2, {"ccc ddd"}}).ok());
+  const Workload w = TokenBlock(left, right, 0, NameScorer, 0.0);
+  EXPECT_EQ(w.size(), 0u);  // no shared token -> never scored
+}
+
+TEST(BlockingStatsTest, ReductionAndCompleteness) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  const Workload w = ThresholdBlock(left, right, NameScorer, 0.5);
+  const auto stats = ComputeBlockingStats(left, right, w);
+  EXPECT_EQ(stats.candidate_pairs, 2u);
+  EXPECT_EQ(stats.total_possible_pairs, 6u);
+  EXPECT_EQ(stats.true_matches_total, 2u);
+  EXPECT_EQ(stats.true_matches_retained, 2u);
+  EXPECT_NEAR(stats.ReductionRatio(), 1.0 - 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.PairCompleteness(), 1.0);
+}
+
+TEST(SortedNeighborhoodTest, FindsPrefixNeighborsTokenBlockingMisses) {
+  // Keys share a prefix but no full token: "kestrelx200" vs "kestrelx2oo".
+  RecordTable left({"name"});
+  ASSERT_TRUE(left.Add({0, 1, {"kestrelx200 speaker"}}).ok());
+  RecordTable right({"name"});
+  ASSERT_TRUE(right.Add({0, 1, {"kestrelx2oo speakers"}}).ok());
+  const Workload token = TokenBlock(left, right, 0, NameScorer, 0.0);
+  EXPECT_EQ(token.size(), 0u);  // no shared whole token
+  const Workload snm =
+      SortedNeighborhoodBlock(left, right, 0, /*window=*/3, NameScorer, 0.0);
+  EXPECT_EQ(snm.size(), 1u);  // adjacent in sorted key order
+}
+
+TEST(SortedNeighborhoodTest, WindowLimitsComparisons) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  // Window of the full merged size degenerates to the cross product
+  // (cross-table pairs only).
+  const Workload wide = SortedNeighborhoodBlock(
+      left, right, 0, left.size() + right.size(), NameScorer, 0.0);
+  EXPECT_EQ(wide.size(), left.size() * right.size());
+  const Workload narrow =
+      SortedNeighborhoodBlock(left, right, 0, 2, NameScorer, 0.0);
+  EXPECT_LE(narrow.size(), wide.size());
+}
+
+TEST(SortedNeighborhoodTest, NoDuplicatePairs) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  const Workload w =
+      SortedNeighborhoodBlock(left, right, 0, 4, NameScorer, 0.0);
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_TRUE(seen.insert({w[i].left_id, w[i].right_id}).second);
+  }
+}
+
+TEST(SortedNeighborhoodTest, RespectsThreshold) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  const Workload w =
+      SortedNeighborhoodBlock(left, right, 0, 6, NameScorer, 0.5);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i].similarity, 0.5);
+  }
+}
+
+TEST(BlockingStatsTest, LostMatchLowersCompleteness) {
+  const auto left = LeftTable();
+  const auto right = RightTable();
+  // Absurd threshold drops the near-duplicate match.
+  const Workload w = ThresholdBlock(left, right, NameScorer, 0.9);
+  const auto stats = ComputeBlockingStats(left, right, w);
+  EXPECT_EQ(stats.true_matches_retained, 1u);
+  EXPECT_DOUBLE_EQ(stats.PairCompleteness(), 0.5);
+}
+
+}  // namespace
+}  // namespace humo::data

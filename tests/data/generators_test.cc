@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/product_generator.h"
+#include "data/publication_generator.h"
+
+namespace humo::data {
+namespace {
+
+TEST(PublicationGeneratorTest, ProducesRequestedCounts) {
+  PublicationGeneratorOptions o;
+  o.num_curated = 50;
+  o.num_crawled = 200;
+  const auto tables = GeneratePublications(o);
+  EXPECT_EQ(tables.curated.size(), 50u);
+  EXPECT_EQ(tables.crawled.size(), 200u);
+  EXPECT_EQ(tables.curated.schema().size(), 4u);
+}
+
+TEST(PublicationGeneratorTest, CuratedEntitiesAreUnique) {
+  PublicationGeneratorOptions o;
+  o.num_curated = 80;
+  const auto tables = GeneratePublications(o);
+  std::set<uint32_t> entities;
+  for (const auto& r : tables.curated.records()) entities.insert(r.entity_id);
+  EXPECT_EQ(entities.size(), 80u);
+}
+
+TEST(PublicationGeneratorTest, DuplicateFractionApproximatelyMet) {
+  PublicationGeneratorOptions o;
+  o.num_curated = 100;
+  o.num_crawled = 1000;
+  o.duplicate_fraction = 0.3;
+  const auto tables = GeneratePublications(o);
+  size_t dups = 0;
+  for (const auto& r : tables.crawled.records())
+    if (r.entity_id < o.num_curated) ++dups;
+  EXPECT_NEAR(static_cast<double>(dups) / 1000.0, 0.3, 0.05);
+}
+
+TEST(PublicationGeneratorTest, DeterministicUnderSeed) {
+  PublicationGeneratorOptions o;
+  o.num_curated = 20;
+  o.num_crawled = 50;
+  const auto a = GeneratePublications(o);
+  const auto b = GeneratePublications(o);
+  for (size_t i = 0; i < a.crawled.size(); ++i) {
+    EXPECT_EQ(a.crawled[i].attributes, b.crawled[i].attributes);
+    EXPECT_EQ(a.crawled[i].entity_id, b.crawled[i].entity_id);
+  }
+}
+
+TEST(PublicationGeneratorTest, RecordsHaveNonEmptyCoreFields) {
+  const auto tables = GeneratePublications({});
+  for (const auto& r : tables.curated.records()) {
+    EXPECT_FALSE(r.attributes[0].empty());  // title
+    EXPECT_FALSE(r.attributes[1].empty());  // authors
+  }
+}
+
+TEST(ProductGeneratorTest, ProducesRequestedCounts) {
+  ProductGeneratorOptions o;
+  o.num_left = 60;
+  o.num_right = 90;
+  const auto tables = GenerateProducts(o);
+  EXPECT_EQ(tables.left.size(), 60u);
+  EXPECT_EQ(tables.right.size(), 90u);
+  EXPECT_EQ(tables.left.schema().size(), 3u);
+}
+
+TEST(ProductGeneratorTest, OverlapFractionApproximatelyMet) {
+  ProductGeneratorOptions o;
+  o.num_left = 200;
+  o.num_right = 1000;
+  o.overlap_fraction = 0.4;
+  const auto tables = GenerateProducts(o);
+  size_t overlapping = 0;
+  for (const auto& r : tables.right.records())
+    if (r.entity_id < o.num_left) ++overlapping;
+  EXPECT_NEAR(static_cast<double>(overlapping) / 1000.0, 0.4, 0.05);
+}
+
+TEST(ProductGeneratorTest, DeterministicUnderSeed) {
+  ProductGeneratorOptions o;
+  o.num_left = 30;
+  o.num_right = 30;
+  const auto a = GenerateProducts(o);
+  const auto b = GenerateProducts(o);
+  for (size_t i = 0; i < a.right.size(); ++i)
+    EXPECT_EQ(a.right[i].attributes, b.right[i].attributes);
+}
+
+TEST(ProductGeneratorTest, PricesParseAsPositiveNumbers) {
+  const auto tables = GenerateProducts({});
+  for (const auto& r : tables.left.records()) {
+    const double price = std::stod(r.attributes[2]);
+    EXPECT_GT(price, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace humo::data

@@ -1,0 +1,3 @@
+#pragma once
+
+// Shared helpers for data-generator tests (intentionally minimal).

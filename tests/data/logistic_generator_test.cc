@@ -1,0 +1,128 @@
+#include "data/logistic_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace humo::data {
+namespace {
+
+TEST(LogisticFunctionTest, MidpointValue) {
+  // At v = midpoint the curve sits at ceiling/2.
+  EXPECT_NEAR(LogisticMatchProportion(0.55, 14.0), 0.475, 1e-12);
+}
+
+TEST(LogisticFunctionTest, Monotone) {
+  double prev = -1.0;
+  for (double v = 0.0; v <= 1.0; v += 0.05) {
+    const double r = LogisticMatchProportion(v, 14.0);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(LogisticFunctionTest, SteeperTauSeparatesFaster) {
+  // Above the midpoint, larger tau gives larger proportion.
+  EXPECT_GT(LogisticMatchProportion(0.7, 18.0),
+            LogisticMatchProportion(0.7, 8.0));
+  // Below the midpoint, larger tau gives smaller proportion.
+  EXPECT_LT(LogisticMatchProportion(0.4, 18.0),
+            LogisticMatchProportion(0.4, 8.0));
+}
+
+TEST(LogisticFunctionTest, BoundedByCeiling) {
+  for (double v : {0.0, 0.5, 1.0}) {
+    const double r = LogisticMatchProportion(v, 14.0);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 0.95);
+  }
+}
+
+TEST(LogisticGeneratorTest, SizeAndSubsetStructure) {
+  LogisticGeneratorOptions o;
+  o.num_pairs = 10000;
+  o.pairs_per_subset = 100;
+  const Workload w = GenerateLogisticWorkload(o);
+  EXPECT_EQ(w.size(), 10000u);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i].similarity, 0.0);
+    EXPECT_LT(w[i].similarity, 1.0);
+  }
+}
+
+TEST(LogisticGeneratorTest, ZeroSigmaTracksLogisticCurve) {
+  LogisticGeneratorOptions o;
+  o.num_pairs = 40000;
+  o.pairs_per_subset = 200;
+  o.sigma = 0.0;
+  o.tau = 14.0;
+  const Workload w = GenerateLogisticWorkload(o);
+  // Check a mid-band subset's match proportion against the curve.
+  const size_t m = o.num_pairs / o.pairs_per_subset;
+  const size_t band = m / 2;  // v ~ 0.5
+  size_t matches = 0;
+  for (size_t i = band * 200; i < (band + 1) * 200; ++i)
+    matches += w[i].is_match;
+  const double expected =
+      LogisticMatchProportion(static_cast<double>(band) / m + 0.5 / m, 14.0);
+  EXPECT_NEAR(static_cast<double>(matches) / 200.0, expected, 0.05);
+}
+
+TEST(LogisticGeneratorTest, LargerTauMakesMoreSeparableWorkload) {
+  LogisticGeneratorOptions low;
+  low.num_pairs = 20000;
+  low.sigma = 0.0;
+  low.tau = 8.0;
+  LogisticGeneratorOptions high = low;
+  high.tau = 18.0;
+  const Workload w_low = GenerateLogisticWorkload(low);
+  const Workload w_high = GenerateLogisticWorkload(high);
+  // Count label impurity in the bottom 40% of pairs: steeper tau = purer.
+  auto impurity_low_region = [](const Workload& w) {
+    const size_t cut = w.size() * 2 / 5;
+    size_t matches = 0;
+    for (size_t i = 0; i < cut; ++i) matches += w[i].is_match;
+    return static_cast<double>(matches) / static_cast<double>(cut);
+  };
+  EXPECT_LT(impurity_low_region(w_high), impurity_low_region(w_low));
+}
+
+TEST(LogisticGeneratorTest, SigmaAddsIrregularity) {
+  LogisticGeneratorOptions smooth;
+  smooth.num_pairs = 40000;
+  smooth.sigma = 0.0;
+  LogisticGeneratorOptions rough = smooth;
+  rough.sigma = 0.4;
+  const Workload w_smooth = GenerateLogisticWorkload(smooth);
+  const Workload w_rough = GenerateLogisticWorkload(rough);
+  // Measure subset-to-subset proportion jumps; the noisy one jumps more.
+  auto total_jump = [](const Workload& w) {
+    const size_t subset = 200;
+    const size_t m = w.size() / subset;
+    double prev = -1.0, acc = 0.0;
+    for (size_t k = 0; k < m; ++k) {
+      size_t matches = 0;
+      for (size_t i = k * subset; i < (k + 1) * subset; ++i)
+        matches += w[i].is_match;
+      const double p = static_cast<double>(matches) / subset;
+      if (prev >= 0.0) acc += std::fabs(p - prev);
+      prev = p;
+    }
+    return acc;
+  };
+  EXPECT_GT(total_jump(w_rough), total_jump(w_smooth) * 1.5);
+}
+
+TEST(LogisticGeneratorTest, DeterministicUnderSeed) {
+  LogisticGeneratorOptions o;
+  o.num_pairs = 5000;
+  const Workload a = GenerateLogisticWorkload(o);
+  const Workload b = GenerateLogisticWorkload(o);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].similarity, b[i].similarity);
+    EXPECT_EQ(a[i].is_match, b[i].is_match);
+  }
+}
+
+}  // namespace
+}  // namespace humo::data

@@ -1,0 +1,120 @@
+#include "data/pair_simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace humo::data {
+namespace {
+
+TEST(PairSimulatorTest, ExactPairAndMatchCounts) {
+  PairSimulatorConfig c;
+  c.num_pairs = 5000;
+  c.num_matches = 250;
+  const Workload w = SimulatePairs(c);
+  EXPECT_EQ(w.size(), 5000u);
+  EXPECT_EQ(w.CountMatches(), 250u);
+}
+
+TEST(PairSimulatorTest, SimilaritiesWithinSupport) {
+  PairSimulatorConfig c;
+  c.num_pairs = 2000;
+  c.num_matches = 100;
+  c.lo = 0.2;
+  c.hi = 0.8;
+  const Workload w = SimulatePairs(c);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i].similarity, 0.2);
+    EXPECT_LE(w[i].similarity, 0.8);
+  }
+}
+
+TEST(PairSimulatorTest, DeterministicUnderSeed) {
+  PairSimulatorConfig c;
+  c.num_pairs = 1000;
+  c.num_matches = 50;
+  const Workload a = SimulatePairs(c);
+  const Workload b = SimulatePairs(c);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].similarity, b[i].similarity);
+    EXPECT_EQ(a[i].is_match, b[i].is_match);
+  }
+}
+
+TEST(PairSimulatorTest, MatchesSkewHigherThanUnmatches) {
+  PairSimulatorConfig c;
+  c.num_pairs = 20000;
+  c.num_matches = 2000;
+  const Workload w = SimulatePairs(c);
+  double match_mean = 0.0, unmatch_mean = 0.0;
+  size_t nm = 0, nu = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i].is_match) {
+      match_mean += w[i].similarity;
+      ++nm;
+    } else {
+      unmatch_mean += w[i].similarity;
+      ++nu;
+    }
+  }
+  match_mean /= static_cast<double>(nm);
+  unmatch_mean /= static_cast<double>(nu);
+  EXPECT_GT(match_mean, unmatch_mean + 0.2);
+}
+
+TEST(DsConfigTest, MatchesPublishedStatistics) {
+  const auto c = DsConfig();
+  EXPECT_EQ(c.num_pairs, 100077u);
+  EXPECT_EQ(c.num_matches, 5267u);
+  EXPECT_DOUBLE_EQ(c.lo, 0.2);
+}
+
+TEST(AbConfigTest, MatchesPublishedStatistics) {
+  const auto c = AbConfig();
+  EXPECT_EQ(c.num_pairs, 313040u);
+  EXPECT_EQ(c.num_matches, 1085u);
+  EXPECT_DOUBLE_EQ(c.lo, 0.05);
+}
+
+TEST(DsConfigTest, HighSimilarityRegionIsPure) {
+  // The top similarity decile of DS should be dominated by matches — the
+  // property that makes DS the "easy" workload (Fig. 4a).
+  const Workload w = SimulatePairs(DsConfigSmall(1, 20000));
+  size_t top_total = 0, top_matches = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i].similarity >= 0.9) {
+      ++top_total;
+      top_matches += w[i].is_match;
+    }
+  }
+  ASSERT_GT(top_total, 0u);
+  EXPECT_GT(static_cast<double>(top_matches) / top_total, 0.8);
+}
+
+TEST(AbConfigTest, NoPureHighSimilarityRegion) {
+  // AB matches live at low/medium similarity; the match proportion never
+  // gets as clean as DS's top region, which is what breaks machine-only
+  // classification (Table I).
+  const Workload w = SimulatePairs(AbConfigSmall(1, 60000));
+  // Count matches above 0.6 — should be a small fraction of all matches.
+  size_t high_matches = 0, total_matches = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i].is_match) {
+      ++total_matches;
+      if (w[i].similarity > 0.6) ++high_matches;
+    }
+  }
+  EXPECT_LT(static_cast<double>(high_matches) / total_matches, 0.2);
+}
+
+TEST(SmallConfigsTest, ScaleMatchCountsProportionally) {
+  const auto ds = DsConfigSmall(1, 20000);
+  EXPECT_EQ(ds.num_pairs, 20000u);
+  EXPECT_NEAR(static_cast<double>(ds.num_matches),
+              5267.0 * 20000.0 / 100077.0, 2.0);
+  const auto ab = AbConfigSmall(1, 60000);
+  EXPECT_EQ(ab.num_pairs, 60000u);
+  EXPECT_NEAR(static_cast<double>(ab.num_matches),
+              1085.0 * 60000.0 / 313040.0, 2.0);
+}
+
+}  // namespace
+}  // namespace humo::data

@@ -1,0 +1,91 @@
+#include "data/perturbation.h"
+
+#include <gtest/gtest.h>
+
+#include "text/token_similarity.h"
+
+namespace humo::data {
+namespace {
+
+TEST(PerturbationTest, ZeroRatesAreIdentity) {
+  Rng rng(1);
+  PerturbationOptions none;
+  none.typo_rate = 0.0;
+  none.token_drop_rate = 0.0;
+  none.abbreviation_rate = 0.0;
+  none.token_swap_rate = 0.0;
+  EXPECT_EQ(PerturbString("hello world test", none, &rng),
+            "hello world test");
+}
+
+TEST(PerturbationTest, MissingRateOneEmptiesValue) {
+  Rng rng(2);
+  PerturbationOptions o;
+  o.missing_rate = 1.0;
+  EXPECT_EQ(PerturbString("anything here", o, &rng), "");
+}
+
+TEST(PerturbationTest, LightKeepsHighSimilarity) {
+  Rng rng(3);
+  const std::string src =
+      "scalable entity resolution framework for dirty data lakes";
+  double total = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    total += text::JaccardSimilarity(
+        src, PerturbString(src, LightPerturbation(), &rng));
+  }
+  EXPECT_GT(total / reps, 0.8);
+}
+
+TEST(PerturbationTest, HeavyDegradesMoreThanLight) {
+  Rng rng_a(4), rng_b(4);
+  const std::string src =
+      "scalable entity resolution framework for dirty data lakes";
+  double light_total = 0.0, heavy_total = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    light_total += text::JaccardSimilarity(
+        src, PerturbString(src, LightPerturbation(), &rng_a));
+    heavy_total += text::JaccardSimilarity(
+        src, PerturbString(src, HeavyPerturbation(), &rng_b));
+  }
+  EXPECT_GT(light_total, heavy_total);
+}
+
+TEST(PerturbationTest, NeverEmptyUnlessMissing) {
+  Rng rng(5);
+  PerturbationOptions o = HeavyPerturbation();
+  o.missing_rate = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(PerturbString("single", o, &rng).empty());
+  }
+}
+
+TEST(PerturbationTest, DeterministicUnderSeed) {
+  Rng a(6), b(6);
+  const auto o = MediumPerturbation();
+  EXPECT_EQ(PerturbString("alpha beta gamma delta", o, &a),
+            PerturbString("alpha beta gamma delta", o, &b));
+}
+
+TEST(PerturbationTest, AbbreviationProducesInitialDot) {
+  Rng rng(7);
+  PerturbationOptions o;
+  o.typo_rate = 0.0;
+  o.token_drop_rate = 0.0;
+  o.abbreviation_rate = 1.0;
+  o.token_swap_rate = 0.0;
+  const std::string out = PerturbString("jonathan smithers", o, &rng);
+  EXPECT_EQ(out, "j. s.");
+}
+
+TEST(PerturbationTest, SeverityPresetsOrdered) {
+  EXPECT_LT(LightPerturbation().typo_rate, MediumPerturbation().typo_rate);
+  EXPECT_LT(MediumPerturbation().typo_rate, HeavyPerturbation().typo_rate);
+  EXPECT_LT(LightPerturbation().token_drop_rate,
+            HeavyPerturbation().token_drop_rate);
+}
+
+}  // namespace
+}  // namespace humo::data

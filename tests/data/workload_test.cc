@@ -1,0 +1,90 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace humo::data {
+namespace {
+
+Workload MakeWorkload() {
+  std::vector<InstancePair> pairs = {
+      {0, 0, 0.9, true},
+      {1, 1, 0.1, false},
+      {2, 2, 0.5, true},
+      {3, 3, 0.5, false},
+      {4, 4, 0.3, false},
+  };
+  return Workload(std::move(pairs));
+}
+
+TEST(WorkloadTest, ConstructionSorts) {
+  const Workload w = MakeWorkload();
+  ASSERT_EQ(w.size(), 5u);
+  for (size_t i = 1; i < w.size(); ++i)
+    EXPECT_LE(w[i - 1].similarity, w[i].similarity);
+}
+
+TEST(WorkloadTest, TieBreakDeterministic) {
+  // Pairs with equal similarity are ordered by ids.
+  const Workload w = MakeWorkload();
+  // similarity 0.5 pairs are ids 2 and 3 in id order.
+  EXPECT_EQ(w[2].left_id, 2u);
+  EXPECT_EQ(w[3].left_id, 3u);
+}
+
+TEST(WorkloadTest, CountMatches) {
+  EXPECT_EQ(MakeWorkload().CountMatches(), 2u);
+  EXPECT_EQ(Workload().CountMatches(), 0u);
+}
+
+TEST(WorkloadTest, GroundTruthLabels) {
+  const Workload w = MakeWorkload();
+  const auto labels = w.GroundTruthLabels();
+  ASSERT_EQ(labels.size(), 5u);
+  // Sorted order: 0.1(F), 0.3(F), 0.5(T), 0.5(F), 0.9(T).
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[2], 1);
+  EXPECT_EQ(labels[4], 1);
+}
+
+TEST(WorkloadTest, MatchHistogram) {
+  const Workload w = MakeWorkload();
+  const auto hist = w.MatchHistogram(2, 0.0, 1.0);
+  ASSERT_EQ(hist.size(), 2u);
+  // Matches at 0.5 and 0.9: 0.5 lands in the second bucket [0.5, 1.0).
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);
+}
+
+TEST(WorkloadTest, MatchHistogramBucketEdges) {
+  std::vector<InstancePair> pairs = {{0, 0, 0.0, true}, {1, 1, 0.999, true}};
+  const Workload w{std::move(pairs)};
+  const auto hist = w.MatchHistogram(10);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[9], 1u);
+}
+
+TEST(WorkloadTest, AddThenSort) {
+  Workload w;
+  w.Add({0, 0, 0.7, false});
+  w.Add({1, 1, 0.2, true});
+  w.SortBySimilarity();
+  EXPECT_DOUBLE_EQ(w[0].similarity, 0.2);
+}
+
+TEST(SummarizeTest, BasicStats) {
+  const auto s = Summarize(MakeWorkload());
+  EXPECT_EQ(s.num_pairs, 5u);
+  EXPECT_EQ(s.num_matches, 2u);
+  EXPECT_DOUBLE_EQ(s.min_similarity, 0.1);
+  EXPECT_DOUBLE_EQ(s.max_similarity, 0.9);
+  EXPECT_DOUBLE_EQ(s.match_fraction, 0.4);
+}
+
+TEST(SummarizeTest, EmptyWorkload) {
+  const auto s = Summarize(Workload{});
+  EXPECT_EQ(s.num_pairs, 0u);
+  EXPECT_DOUBLE_EQ(s.match_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace humo::data

@@ -1,0 +1,47 @@
+#include "eval/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace humo::eval {
+namespace {
+
+data::Workload TinyWorkload() {
+  std::vector<data::InstancePair> pairs = {
+      {0, 0, 0.1, false}, {1, 1, 0.4, true}, {2, 2, 0.7, false},
+      {3, 3, 0.9, true}};
+  return data::Workload(std::move(pairs));
+}
+
+TEST(EvaluationTest, PerfectLabels) {
+  const data::Workload w = TinyWorkload();
+  const auto q = QualityOf(w, w.GroundTruthLabels());
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(EvaluationTest, AllMatchLabels) {
+  const data::Workload w = TinyWorkload();
+  const auto q = QualityOf(w, {1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST(EvaluationTest, AllUnmatchLabels) {
+  const data::Workload w = TinyWorkload();
+  const auto q = QualityOf(w, {0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);  // vacuous
+}
+
+TEST(EvaluationTest, ConfusionMatrixDirect) {
+  const data::Workload w = TinyWorkload();
+  const auto m = EvaluateAgainstTruth(w, {0, 1, 1, 1});
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 0u);
+  EXPECT_EQ(m.true_negatives, 1u);
+}
+
+}  // namespace
+}  // namespace humo::eval

@@ -1,0 +1,52 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace humo::eval {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  // Separator rule present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, PadsColumnsToWidestCell) {
+  Table t({"h"});
+  t.AddRow({"longcellvalue"});
+  const std::string s = t.ToString();
+  // Header line must be as wide as the data line.
+  const size_t first_newline = s.find('\n');
+  const size_t second_newline = s.find('\n', first_newline + 1);
+  const size_t third_newline = s.find('\n', second_newline + 1);
+  const std::string header_line = s.substr(0, first_newline);
+  const std::string data_line =
+      s.substr(second_newline + 1, third_newline - second_newline - 1);
+  EXPECT_EQ(header_line.size(), data_line.size());
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(FmtTest, Decimals) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(1.0, 4), "1.0000");
+}
+
+TEST(FmtPercentTest, ScalesFraction) {
+  EXPECT_EQ(FmtPercent(0.0731), "7.31%");
+  EXPECT_EQ(FmtPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace humo::eval

@@ -1,0 +1,83 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/metrics.h"
+
+namespace humo::ml {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 0.8807970779778823, 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - 0.8807970779778823, 1e-12);
+}
+
+TEST(SigmoidTest, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+Dataset Blobs(size_t n, double gap, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (size_t i = 0; i < n; ++i) {
+    d.Add({rng.NextGaussian(-gap, 1.0)}, 0);
+    d.Add({rng.NextGaussian(gap, 1.0)}, 1);
+  }
+  return d;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  const Dataset d = Blobs(300, 2.5, 1);
+  const LogisticRegression lr = LogisticRegression::Train(d);
+  std::vector<int> preds;
+  for (const auto& f : d.features) preds.push_back(lr.Predict(f));
+  EXPECT_GT(EvaluateLabels(preds, d.labels).accuracy(), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesInUnitInterval) {
+  const Dataset d = Blobs(100, 1.0, 2);
+  const LogisticRegression lr = LogisticRegression::Train(d);
+  for (const auto& f : d.features) {
+    const double p = lr.PredictProbability(f);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, ProbabilityMonotoneInFeature) {
+  const Dataset d = Blobs(300, 2.0, 3);
+  const LogisticRegression lr = LogisticRegression::Train(d);
+  EXPECT_LT(lr.PredictProbability({-3.0}), lr.PredictProbability({0.0}));
+  EXPECT_LT(lr.PredictProbability({0.0}), lr.PredictProbability({3.0}));
+}
+
+TEST(LogisticRegressionTest, ThresholdShiftsPrecisionRecallTradeoff) {
+  const Dataset d = Blobs(500, 1.0, 4);
+  const LogisticRegression lr = LogisticRegression::Train(d);
+  auto metrics_at = [&](double thr) {
+    std::vector<int> preds;
+    for (const auto& f : d.features) preds.push_back(lr.Predict(f, thr));
+    return EvaluateLabels(preds, d.labels);
+  };
+  const auto strict = metrics_at(0.9);
+  const auto loose = metrics_at(0.1);
+  EXPECT_GE(strict.precision(), loose.precision());
+  EXPECT_LE(strict.recall(), loose.recall());
+}
+
+TEST(LogisticRegressionTest, DeterministicUnderSeed) {
+  const Dataset d = Blobs(100, 1.5, 5);
+  LogisticOptions o;
+  o.seed = 11;
+  const auto a = LogisticRegression::Train(d, o);
+  const auto b = LogisticRegression::Train(d, o);
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+  for (size_t i = 0; i < a.weights().size(); ++i)
+    EXPECT_DOUBLE_EQ(a.weights()[i], b.weights()[i]);
+}
+
+}  // namespace
+}  // namespace humo::ml

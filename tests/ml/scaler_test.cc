@@ -1,0 +1,63 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace humo::ml {
+namespace {
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  Dataset d;
+  d.Add({1.0, 10.0}, 0);
+  d.Add({2.0, 20.0}, 0);
+  d.Add({3.0, 30.0}, 1);
+  StandardScaler scaler;
+  scaler.Fit(d);
+  const Dataset scaled = scaler.Transform(d);
+  for (size_t j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (const auto& f : scaled.features) mean += f[j];
+    mean /= 3.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    double var = 0.0;
+    for (const auto& f : scaled.features) var += f[j] * f[j];
+    var /= 3.0;
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeaturePassesThrough) {
+  Dataset d;
+  d.Add({5.0}, 0);
+  d.Add({5.0}, 1);
+  StandardScaler scaler;
+  scaler.Fit(d);
+  const auto f = scaler.Transform(FeatureVector{5.0});
+  EXPECT_DOUBLE_EQ(f[0], 0.0);  // (5-5)/1
+}
+
+TEST(StandardScalerTest, TransformUsesTrainStatistics) {
+  Dataset train;
+  train.Add({0.0}, 0);
+  train.Add({10.0}, 1);
+  StandardScaler scaler;
+  scaler.Fit(train);
+  // Unseen value scaled by train mean (5) and stddev (5).
+  const auto f = scaler.Transform(FeatureVector{20.0});
+  EXPECT_NEAR(f[0], 3.0, 1e-12);
+}
+
+TEST(StandardScalerTest, LabelsPreserved) {
+  Dataset d;
+  d.Add({1.0}, 1);
+  d.Add({2.0}, 0);
+  StandardScaler scaler;
+  scaler.Fit(d);
+  const Dataset scaled = scaler.Transform(d);
+  EXPECT_EQ(scaled.labels[0], 1);
+  EXPECT_EQ(scaled.labels[1], 0);
+}
+
+}  // namespace
+}  // namespace humo::ml

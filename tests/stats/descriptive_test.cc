@@ -1,0 +1,85 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace humo::stats {
+namespace {
+
+TEST(DescriptiveTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({7}), 7.0);
+}
+
+TEST(DescriptiveTest, SampleVariance) {
+  // Var of {2,4,4,4,5,5,7,9} with n-1 denominator = 4.571428...
+  EXPECT_NEAR(SampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(SampleVariance({5}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+}
+
+TEST(DescriptiveTest, PopulationVariance) {
+  EXPECT_NEAR(PopulationVariance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0, 1e-12);
+}
+
+TEST(DescriptiveTest, StdDevIsSqrtOfVariance) {
+  const std::vector<double> xs = {1, 3, 5, 7};
+  EXPECT_NEAR(SampleStdDev(xs), std::sqrt(SampleVariance(xs)), 1e-12);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(DescriptiveTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(DescriptiveTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), SampleVariance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStatsTest, NumericallyStableAroundLargeOffset) {
+  RunningStats rs;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0}) rs.Add(offset + x);
+  EXPECT_NEAR(rs.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace humo::stats

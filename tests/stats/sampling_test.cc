@@ -1,0 +1,91 @@
+#include "stats/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace humo::stats {
+namespace {
+
+TEST(SampleGammaTest, MeanAndVarianceMatchShape) {
+  Rng rng(3);
+  for (double shape : {0.5, 1.0, 2.5, 7.0}) {
+    RunningStats rs;
+    for (int i = 0; i < 60000; ++i) rs.Add(SampleGamma(&rng, shape));
+    EXPECT_NEAR(rs.mean(), shape, 0.05 * shape + 0.02) << "shape=" << shape;
+    EXPECT_NEAR(rs.variance(), shape, 0.12 * shape + 0.05) << "shape=" << shape;
+  }
+}
+
+TEST(SampleGammaTest, AlwaysPositive) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(SampleGamma(&rng, 0.3), 0.0);
+    EXPECT_GT(SampleGamma(&rng, 4.0), 0.0);
+  }
+}
+
+TEST(SampleBetaTest, InUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = SampleBeta(&rng, 2.0, 5.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(SampleBetaTest, MeanMatchesAlphaOverSum) {
+  Rng rng(11);
+  for (auto [a, b] : {std::pair{2.0, 5.0}, {5.0, 2.0}, {1.0, 1.0}}) {
+    RunningStats rs;
+    for (int i = 0; i < 60000; ++i) rs.Add(SampleBeta(&rng, a, b));
+    EXPECT_NEAR(rs.mean(), a / (a + b), 0.01) << a << "," << b;
+  }
+}
+
+TEST(SampleBetaTest, SkewDirection) {
+  Rng rng(13);
+  RunningStats low, high;
+  for (int i = 0; i < 20000; ++i) {
+    low.Add(SampleBeta(&rng, 1.2, 8.0));   // skewed toward 0
+    high.Add(SampleBeta(&rng, 8.0, 1.2));  // skewed toward 1
+  }
+  EXPECT_LT(low.mean(), 0.25);
+  EXPECT_GT(high.mean(), 0.75);
+}
+
+TEST(SampleBinomialTest, SmallNExact) {
+  Rng rng(17);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i)
+    rs.Add(static_cast<double>(SampleBinomial(&rng, 10, 0.3)));
+  EXPECT_NEAR(rs.mean(), 3.0, 0.05);
+  EXPECT_NEAR(rs.variance(), 2.1, 0.15);
+}
+
+TEST(SampleBinomialTest, LargeNNormalPath) {
+  Rng rng(19);
+  RunningStats rs;
+  const size_t n = 10000;
+  for (int i = 0; i < 5000; ++i)
+    rs.Add(static_cast<double>(SampleBinomial(&rng, n, 0.4)));
+  EXPECT_NEAR(rs.mean(), 4000.0, 30.0);
+}
+
+TEST(SampleBinomialTest, Extremes) {
+  Rng rng(23);
+  EXPECT_EQ(SampleBinomial(&rng, 100, 0.0), 0u);
+  EXPECT_EQ(SampleBinomial(&rng, 100, 1.0), 100u);
+  EXPECT_EQ(SampleBinomial(&rng, 0, 0.5), 0u);
+}
+
+TEST(SampleBinomialTest, ResultNeverExceedsN) {
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(SampleBinomial(&rng, 50, 0.99), 50u);
+    EXPECT_LE(SampleBinomial(&rng, 100000, 0.999), 100000u);
+  }
+}
+
+}  // namespace
+}  // namespace humo::stats

@@ -1,0 +1,82 @@
+#include "text/attribute_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "text/jaro.h"
+#include "text/token_similarity.h"
+
+namespace humo::text {
+namespace {
+
+AggregatedSimilarity MakeTwoAttributeSim(double w1, double w2) {
+  std::vector<AttributeSpec> specs;
+  specs.push_back({"title",
+                   [](std::string_view a, std::string_view b) {
+                     return JaccardSimilarity(a, b);
+                   },
+                   w1});
+  specs.push_back({"venue",
+                   [](std::string_view a, std::string_view b) {
+                     return JaroWinklerSimilarity(a, b);
+                   },
+                   w2});
+  return AggregatedSimilarity(std::move(specs));
+}
+
+TEST(AggregatedSimilarityTest, IdenticalRecordsScoreOne) {
+  auto sim = MakeTwoAttributeSim(1.0, 1.0);
+  const std::vector<std::string> r = {"entity matching", "icde"};
+  EXPECT_NEAR(sim(r, r), 1.0, 1e-12);
+}
+
+TEST(AggregatedSimilarityTest, CompletelyDifferentScoreLow) {
+  auto sim = MakeTwoAttributeSim(1.0, 1.0);
+  const std::vector<std::string> a = {"alpha beta", "xxxx"};
+  const std::vector<std::string> b = {"gamma delta", "yyyy"};
+  EXPECT_LT(sim(a, b), 0.3);
+}
+
+TEST(AggregatedSimilarityTest, WeightsShiftTheScore) {
+  // First attribute matches perfectly; second not at all.
+  const std::vector<std::string> a = {"same title", "zzzz"};
+  const std::vector<std::string> b = {"same title", "qqqq"};
+  auto title_heavy = MakeTwoAttributeSim(9.0, 1.0);
+  auto venue_heavy = MakeTwoAttributeSim(1.0, 9.0);
+  EXPECT_GT(title_heavy(a, b), venue_heavy(a, b));
+}
+
+TEST(AggregatedSimilarityTest, MissingValueContributesZero) {
+  auto sim = MakeTwoAttributeSim(1.0, 1.0);
+  const std::vector<std::string> full = {"entity matching", "icde"};
+  const std::vector<std::string> missing = {"entity matching", ""};
+  // venue contributes 0 when missing: sim = 0.5 * 1.0.
+  EXPECT_NEAR(sim(full, missing), 0.5, 1e-9);
+}
+
+TEST(AggregatedSimilarityTest, ResultAlwaysInUnitInterval) {
+  auto sim = MakeTwoAttributeSim(3.0, 2.0);
+  const std::vector<std::string> a = {"one two three", "venue a"};
+  const std::vector<std::string> b = {"two three four", "venue b"};
+  const double s = sim(a, b);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(WeightsFromDistinctCountsTest, CountsDistinctValues) {
+  std::vector<std::vector<std::string>> records = {
+      {"a", "x"}, {"b", "x"}, {"c", "x"}, {"a", "y"}};
+  const auto w = AggregatedSimilarity::WeightsFromDistinctCounts(records, 2);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);  // a, b, c
+  EXPECT_DOUBLE_EQ(w[1], 2.0);  // x, y
+}
+
+TEST(WeightsFromDistinctCountsTest, EmptyValuesIgnoredAndFloorOne) {
+  std::vector<std::vector<std::string>> records = {{"", ""}, {"", ""}};
+  const auto w = AggregatedSimilarity::WeightsFromDistinctCounts(records, 2);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+}
+
+}  // namespace
+}  // namespace humo::text

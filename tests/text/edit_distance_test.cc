@@ -1,0 +1,80 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+namespace humo::text {
+namespace {
+
+TEST(LevenshteinTest, IdenticalStrings) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "kitten"), 0u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+}
+
+TEST(LevenshteinTest, ClassicExample) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+}
+
+TEST(LevenshteinTest, EmptyAgainstNonEmpty) {
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+}
+
+TEST(LevenshteinTest, SingleEdits) {
+  EXPECT_EQ(LevenshteinDistance("abc", "abd"), 1u);  // substitution
+  EXPECT_EQ(LevenshteinDistance("abc", "ab"), 1u);   // deletion
+  EXPECT_EQ(LevenshteinDistance("abc", "abcd"), 1u); // insertion
+}
+
+TEST(LevenshteinTest, Symmetry) {
+  EXPECT_EQ(LevenshteinDistance("database", "databse"),
+            LevenshteinDistance("databse", "database"));
+}
+
+TEST(LevenshteinTest, SimilarityBounds) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  const double s = LevenshteinSimilarity("kitten", "sitting");
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(DamerauTest, TranspositionCountsAsOne) {
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1u);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2u);
+}
+
+TEST(DamerauTest, MatchesLevenshteinWithoutTranspositions) {
+  EXPECT_EQ(DamerauLevenshteinDistance("kitten", "sitting"), 3u);
+}
+
+TEST(DamerauTest, EmptyCases) {
+  EXPECT_EQ(DamerauLevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(DamerauLevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(DamerauLevenshteinDistance("", ""), 0u);
+}
+
+TEST(DamerauTest, MixedEdits) {
+  // One transposition + one substitution.
+  EXPECT_EQ(DamerauLevenshteinDistance("abcd", "bacx"), 2u);
+}
+
+TEST(LcsTest, Basic) {
+  EXPECT_EQ(LongestCommonSubsequence("abcde", "ace"), 3u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "xyz"), 0u);
+  EXPECT_EQ(LongestCommonSubsequence("", "abc"), 0u);
+}
+
+TEST(LcsTest, SimilarityBounds) {
+  EXPECT_DOUBLE_EQ(LcsSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(HammingTest, CountsMismatches) {
+  EXPECT_EQ(HammingDistance("10110", "10011"), 2u);
+  EXPECT_EQ(HammingDistance("", ""), 0u);
+}
+
+}  // namespace
+}  // namespace humo::text

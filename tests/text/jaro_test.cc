@@ -1,0 +1,74 @@
+#include "text/jaro.h"
+
+#include <gtest/gtest.h>
+
+namespace humo::text {
+namespace {
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+}
+
+TEST(JaroTest, EmptyAgainstNonEmpty) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+}
+
+TEST(JaroTest, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, KnownValueMarthaMarhta) {
+  // Classic reference pair: jaro(martha, marhta) = 0.944444...
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+}
+
+TEST(JaroTest, KnownValueDixonDicksonx) {
+  // Second classic reference pair: ~0.766667.
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+}
+
+TEST(JaroTest, Symmetry) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("dwayne", "duane"),
+                   JaroSimilarity("duane", "dwayne"));
+}
+
+TEST(JaroWinklerTest, BoostsCommonPrefix) {
+  const double jaro = JaroSimilarity("martha", "marhta");
+  const double jw = JaroWinklerSimilarity("martha", "marhta");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+}
+
+TEST(JaroWinklerTest, NoPrefixNoBoost) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abcd", "xbcd"),
+                   JaroSimilarity("abcd", "xbcd"));
+}
+
+TEST(JaroWinklerTest, PrefixCappedAtFour) {
+  // Prefix length 4 and 6 should receive the same boost factor.
+  const double jw4 = JaroWinklerSimilarity("abcdXY", "abcdZW");
+  const double jw_same =
+      JaroWinklerSimilarity("abcdXY", "abcdZW", 0.1, /*max_prefix=*/6);
+  EXPECT_DOUBLE_EQ(jw4, jw_same);  // only 4 chars actually agree
+}
+
+TEST(JaroWinklerTest, NeverExceedsOne) {
+  EXPECT_LE(JaroWinklerSimilarity("aaaa", "aaaa"), 1.0);
+  EXPECT_LE(JaroWinklerSimilarity("prefix", "prefixes"), 1.0);
+}
+
+TEST(JaroWinklerTest, InUnitInterval) {
+  const char* samples[] = {"", "a", "ab", "entity", "resolution", "volt"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      const double s = JaroWinklerSimilarity(a, b);
+      EXPECT_GE(s, 0.0) << a << " vs " << b;
+      EXPECT_LE(s, 1.0) << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace humo::text

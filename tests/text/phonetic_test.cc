@@ -1,0 +1,47 @@
+#include "text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace humo::text {
+namespace {
+
+TEST(SoundexTest, ReferenceCodes) {
+  // Canonical examples from the Soundex specification.
+  EXPECT_EQ(Soundex("robert"), "R163");
+  EXPECT_EQ(Soundex("rupert"), "R163");
+  EXPECT_EQ(Soundex("ashcraft"), "A261");
+  EXPECT_EQ(Soundex("ashcroft"), "A261");
+  EXPECT_EQ(Soundex("tymczak"), "T522");
+  EXPECT_EQ(Soundex("pfister"), "P236");
+  EXPECT_EQ(Soundex("honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseInsensitiveViaUpperOutput) {
+  EXPECT_EQ(Soundex("Robert"), Soundex("ROBERT"));
+  EXPECT_EQ(Soundex("Robert"), Soundex("robert"));
+}
+
+TEST(SoundexTest, ShortWordsPadded) {
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("lee"), "L000");
+}
+
+TEST(SoundexTest, EmptyAndNonAlpha) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(SoundexTest, AdjacentDuplicatesCollapse) {
+  // 'pf' both map to 1 -> single digit (pfister: P236 not P1236).
+  EXPECT_EQ(Soundex("jackson"), "J250");
+}
+
+TEST(SoundexEqualsTest, PhoneticMatches) {
+  EXPECT_TRUE(SoundexEquals("smith", "smyth"));
+  EXPECT_TRUE(SoundexEquals("robert", "rupert"));
+  EXPECT_FALSE(SoundexEquals("smith", "jones"));
+  EXPECT_FALSE(SoundexEquals("", ""));  // empty codes never match
+}
+
+}  // namespace
+}  // namespace humo::text

@@ -1,0 +1,84 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace humo::text {
+namespace {
+
+std::vector<std::vector<std::string>> Corpus() {
+  return {{"entity", "resolution", "survey"},
+          {"entity", "matching", "rules"},
+          {"stream", "processing", "engine"}};
+}
+
+TEST(TfIdfTest, FitCountsDocuments) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  EXPECT_EQ(model.num_documents(), 3u);
+}
+
+TEST(TfIdfTest, RareTokensWeighMore) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  // "entity" appears in 2 docs, "survey" in 1: idf(survey) > idf(entity).
+  EXPECT_GT(model.Idf("survey"), model.Idf("entity"));
+}
+
+TEST(TfIdfTest, UnknownTokenGetsMaxIdf) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  EXPECT_GT(model.Idf("neverseen"), model.Idf("survey"));
+}
+
+TEST(TfIdfTest, TransformIsL2Normalized) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  const auto v = model.Transform({"entity", "resolution", "survey"});
+  double norm_sq = 0.0;
+  for (const auto& [tok, w] : v) norm_sq += w * w;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, EmptyDocumentTransformsToEmptyVector) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  EXPECT_TRUE(model.Transform({}).empty());
+}
+
+TEST(TfIdfTest, CosineSelfSimilarityIsOne) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  const auto v = model.Transform({"entity", "matching"});
+  EXPECT_NEAR(TfIdfModel::Cosine(v, v), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, CosineDisjointIsZero) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  const auto a = model.Transform({"entity"});
+  const auto b = model.Transform({"stream"});
+  EXPECT_DOUBLE_EQ(TfIdfModel::Cosine(a, b), 0.0);
+}
+
+TEST(TfIdfTest, CosineOrdersByOverlap) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  const auto q = model.Transform({"entity", "resolution"});
+  const auto close = model.Transform({"entity", "resolution", "survey"});
+  const auto far = model.Transform({"stream", "processing"});
+  EXPECT_GT(TfIdfModel::Cosine(q, close), TfIdfModel::Cosine(q, far));
+}
+
+TEST(TfIdfTest, TermFrequencyMatters) {
+  TfIdfModel model;
+  model.Fit(Corpus());
+  const auto once = model.Transform({"entity", "stream"});
+  const auto twice = model.Transform({"entity", "entity", "stream"});
+  // Repeating "entity" shifts weight toward it.
+  EXPECT_GT(twice.at("entity"), once.at("entity"));
+}
+
+}  // namespace
+}  // namespace humo::text
