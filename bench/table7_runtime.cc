@@ -3,8 +3,21 @@
 // BASE << SAMP <= HYBR, and AB (3x the pairs, 3x the subsets) costlier
 // than DS. Absolute numbers are not comparable to the paper's 2016-era
 // machine (paper: DS 0.97/6.5/7.6 s; AB 3.1/20.9/53.5 s).
+//
+// Beyond the paper's table, every SAMP/HYBR benchmark carries a
+// thread-count dimension (the benchmark Arg; the global pool is resized per
+// run, results are bit-identical across counts), and the *_SharedEngine
+// variants time HYBR layered on a SAMP run over one EstimationContext —
+// the engine-reuse configuration that skips S0 entirely.
+//
+// In addition to the console table, results are written as
+// machine-readable JSON to BENCH_runtime.json (override with
+// HUMO_BENCH_JSON) so successive PRs can track the runtime trajectory.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "humo.h"
 
@@ -32,6 +45,7 @@ void RunBase(benchmark::State& state, const data::Workload& w) {
 }
 
 void RunSamp(benchmark::State& state, const data::Workload& w) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
   core::SubsetPartition p(&w, 200);
   const core::QualityRequirement req{0.9, 0.9, 0.9};
   uint64_t seed = 0;
@@ -42,9 +56,11 @@ void RunSamp(benchmark::State& state, const data::Workload& w) {
     auto sol = core::PartialSamplingOptimizer(opts).Optimize(p, req, &oracle);
     benchmark::DoNotOptimize(sol);
   }
+  ThreadPool::SetGlobalThreads(0);
 }
 
 void RunHybr(benchmark::State& state, const data::Workload& w) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
   core::SubsetPartition p(&w, 200);
   const core::QualityRequirement req{0.9, 0.9, 0.9};
   uint64_t seed = 0;
@@ -55,22 +71,93 @@ void RunHybr(benchmark::State& state, const data::Workload& w) {
     auto sol = core::HybridOptimizer(opts).Optimize(p, req, &oracle);
     benchmark::DoNotOptimize(sol);
   }
+  ThreadPool::SetGlobalThreads(0);
+}
+
+/// SAMP then HYBR on one shared EstimationContext: HYBR's S0 phase is
+/// answered from the stored outcome and its re-extension from the subset
+/// cache — the marginal machine (and human) cost of layering HYBR on SAMP.
+void RunSampThenHybrShared(benchmark::State& state, const data::Workload& w) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    core::Oracle oracle(&w);
+    core::EstimationContext ctx(&p, &oracle);
+    core::PartialSamplingOptions opts;
+    opts.seed = ++seed;
+    auto s0 = core::PartialSamplingOptimizer(opts).Optimize(&ctx, req);
+    benchmark::DoNotOptimize(s0);
+    core::HybridOptions hopts;
+    hopts.sampling = opts;
+    auto s1 = core::HybridOptimizer(hopts).Optimize(&ctx, req);
+    benchmark::DoNotOptimize(s1);
+  }
+  ThreadPool::SetGlobalThreads(0);
 }
 
 void BM_Table7_DS_BASE(benchmark::State& s) { RunBase(s, Ds()); }
 void BM_Table7_DS_SAMP(benchmark::State& s) { RunSamp(s, Ds()); }
 void BM_Table7_DS_HYBR(benchmark::State& s) { RunHybr(s, Ds()); }
+void BM_Table7_DS_SAMP_HYBR_SharedEngine(benchmark::State& s) {
+  RunSampThenHybrShared(s, Ds());
+}
 void BM_Table7_AB_BASE(benchmark::State& s) { RunBase(s, Ab()); }
 void BM_Table7_AB_SAMP(benchmark::State& s) { RunSamp(s, Ab()); }
 void BM_Table7_AB_HYBR(benchmark::State& s) { RunHybr(s, Ab()); }
+void BM_Table7_AB_SAMP_HYBR_SharedEngine(benchmark::State& s) {
+  RunSampThenHybrShared(s, Ab());
+}
 
 BENCHMARK(BM_Table7_DS_BASE)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Table7_DS_SAMP)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Table7_DS_HYBR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_DS_SAMP)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_DS_HYBR)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_DS_SAMP_HYBR_SharedEngine)
+    ->ArgName("threads")->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Table7_AB_BASE)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Table7_AB_SAMP)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Table7_AB_HYBR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_AB_SAMP)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_AB_HYBR)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table7_AB_SAMP_HYBR_SharedEngine)
+    ->ArgName("threads")->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default the file reporter to BENCH_runtime.json (JSON) unless the
+  // caller picked an output explicitly; the console table still prints.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    // Exact flag (or its =value form) only; --benchmark_out_format alone
+    // must not suppress the default output file.
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=" +
+                         GetEnvString("HUMO_BENCH_JSON", "BENCH_runtime.json");
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

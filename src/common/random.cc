@@ -91,6 +91,15 @@ int64_t Rng::NextInt(int64_t lo, int64_t hi) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream_id) {
+  // Decorrelate (seed, stream) pairs with one SplitMix64 round over a
+  // golden-ratio combination before the constructor's own expansion.
+  uint64_t z = seed ^ (stream_id * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
+}
+
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   assert(k <= n);
   // Partial Fisher-Yates on an index vector; O(n) memory, O(n + k) time.

@@ -59,24 +59,28 @@ Result<HumoSolution> AllSamplingOptimizer::Optimize(
     Oracle* oracle) const {
   if (oracle == nullptr)
     return Status::InvalidArgument("oracle must not be null");
+  EstimationContext ctx(&partition, oracle);
+  return Optimize(&ctx, req);
+}
+
+Result<HumoSolution> AllSamplingOptimizer::Optimize(
+    EstimationContext* ctx, const QualityRequirement& req) const {
+  if (ctx == nullptr)
+    return Status::InvalidArgument("estimation context must not be null");
+  if (ctx->oracle() == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const SubsetPartition& partition = ctx->partition();
   const size_t m = partition.num_subsets();
   if (m == 0) return Status::InvalidArgument("empty workload");
   if (options_.samples_per_subset == 0)
     return Status::InvalidArgument("samples_per_subset must be positive");
 
-  // Phase 1: sample every subset.
+  // Phase 1: sample every subset (memoized through the context's cache, so
+  // strata an earlier run paid for are reused at zero human cost).
   Rng rng(options_.seed);
   std::vector<stats::Stratum> strata(m);
   for (size_t k = 0; k < m; ++k) {
-    const Subset& s = partition[k];
-    const size_t take = std::min(options_.samples_per_subset, s.size());
-    const auto picks = rng.SampleWithoutReplacement(s.size(), take);
-    stats::Stratum st;
-    st.population = s.size();
-    st.sample_size = take;
-    for (size_t off : picks)
-      st.sample_positives += oracle->Label(s.begin + off);
-    strata[k] = st;
+    strata[k] = ctx->SampleSubset(k, options_.samples_per_subset, &rng);
   }
   StratifiedRanges ranges(strata);
   const double conf = std::sqrt(req.theta);

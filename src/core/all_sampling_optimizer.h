@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "core/estimation_engine.h"
 #include "core/oracle.h"
 #include "core/partition.h"
 #include "core/solution.h"
@@ -32,6 +33,13 @@ class AllSamplingOptimizer {
   explicit AllSamplingOptimizer(AllSamplingOptions options = {})
       : options_(options) {}
 
+  /// Runs the search against a shared estimation context: subsets an
+  /// earlier run already sampled (or fully enumerated) are served from the
+  /// SubsetStatsCache without re-asking the oracle.
+  Result<HumoSolution> Optimize(EstimationContext* ctx,
+                                const QualityRequirement& req) const;
+
+  /// Convenience entry point with a private, throwaway context.
   Result<HumoSolution> Optimize(const SubsetPartition& partition,
                                 const QualityRequirement& req,
                                 Oracle* oracle) const;

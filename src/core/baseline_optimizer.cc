@@ -4,25 +4,23 @@
 #include <cassert>
 
 namespace humo::core {
-namespace {
-
-/// Labels every pair of subset `k` through the oracle and returns the number
-/// of matches found.
-size_t LabelSubset(const SubsetPartition& partition, size_t k,
-                   Oracle* oracle) {
-  size_t matches = 0;
-  const Subset& s = partition[k];
-  for (size_t i = s.begin; i < s.end; ++i) matches += oracle->Label(i);
-  return matches;
-}
-
-}  // namespace
 
 Result<HumoSolution> BaselineOptimizer::Optimize(
     const SubsetPartition& partition, const QualityRequirement& req,
     Oracle* oracle) const {
   if (oracle == nullptr)
     return Status::InvalidArgument("oracle must not be null");
+  EstimationContext ctx(&partition, oracle);
+  return Optimize(&ctx, req);
+}
+
+Result<HumoSolution> BaselineOptimizer::Optimize(
+    EstimationContext* ctx, const QualityRequirement& req) const {
+  if (ctx == nullptr)
+    return Status::InvalidArgument("estimation context must not be null");
+  if (ctx->oracle() == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const SubsetPartition& partition = ctx->partition();
   const size_t m = partition.num_subsets();
   if (m == 0) return Status::InvalidArgument("empty workload");
   if (options_.window_subsets == 0)
@@ -46,41 +44,22 @@ Result<HumoSolution> BaselineOptimizer::Optimize(
     start = std::min(options_.start_subset, m - 1);
   }
 
-  // DH = [lo, hi] inclusive; per-subset observed match counts are cached as
-  // DH grows. All DH pairs get human labels, so R(DH) is known exactly.
+  // DH = [lo, hi] inclusive; per-subset observed match counts live in the
+  // context's SubsetStatsCache (so a later optimizer run — or a re-run with
+  // a stronger requirement — reuses them without oracle traffic). All DH
+  // pairs get human labels, so R(DH) is known exactly.
   size_t lo = start, hi = start;
-  std::vector<size_t> subset_matches(m, 0);
-  subset_matches[start] = LabelSubset(partition, start, oracle);
-  size_t dh_matches = subset_matches[start];
+  size_t dh_matches = ctx->LabelSubset(start);
   size_t dh_pairs = partition[start].size();
 
   bool precision_fixed = (hi + 1 >= m);  // no D+ -> precision constraint vacuous
   bool recall_fixed = (lo == 0);         // no D- -> recall constraint vacuous
 
-  // Observed proportion of the `window` most recent subsets on one side.
+  // Eq. 7 windows are capped both by subset count and by pair count (the
+  // final subset absorbs the partition remainder, so w subsets can hold
+  // more than w * subset_size pairs).
   const size_t w = options_.window_subsets;
-  auto upper_window_proportion = [&](size_t hi_now) {
-    size_t pairs = 0, matches = 0;
-    for (size_t k = hi_now; k + 1 > lo && pairs < w * partition.subset_size();
-         --k) {
-      pairs += partition[k].size();
-      matches += subset_matches[k];
-      if (k == lo || k == hi_now + 1 - w) break;
-    }
-    return pairs == 0 ? 0.0
-                      : static_cast<double>(matches) / static_cast<double>(pairs);
-  };
-  auto lower_window_proportion = [&](size_t lo_now) {
-    size_t pairs = 0, matches = 0;
-    for (size_t k = lo_now; k <= hi && pairs < w * partition.subset_size();
-         ++k) {
-      pairs += partition[k].size();
-      matches += subset_matches[k];
-      if (k + 1 == lo_now + w) break;
-    }
-    return pairs == 0 ? 0.0
-                      : static_cast<double>(matches) / static_cast<double>(pairs);
-  };
+  const size_t window_pair_cap = w * partition.subset_size();
 
   // Eq. 7: upper bound freezes when R(I+) >= (alpha*|D+| - (1-alpha)*
   //        R(DH)*|DH|) / |D+|.
@@ -91,7 +70,7 @@ Result<HumoSolution> BaselineOptimizer::Optimize(
     const double r_dh_weighted = static_cast<double>(dh_matches);
     const double threshold =
         (req.alpha * d_plus - (1.0 - req.alpha) * r_dh_weighted) / d_plus;
-    return upper_window_proportion(hi) >= threshold;
+    return ctx->UpperWindowProportion(lo, hi, w, window_pair_cap) >= threshold;
   };
 
   // Eq. 9: lower bound freezes when R(I-) <= (1-beta)(|DH| R(DH) +
@@ -101,14 +80,15 @@ Result<HumoSolution> BaselineOptimizer::Optimize(
     const double d_minus =
         static_cast<double>(partition.PairsInRange(0, lo - 1));
     const double d_plus_matches =
-        hi + 1 >= m ? 0.0
-                    : static_cast<double>(partition.PairsInRange(hi + 1, m - 1)) *
-                          upper_window_proportion(hi);
+        hi + 1 >= m
+            ? 0.0
+            : static_cast<double>(partition.PairsInRange(hi + 1, m - 1)) *
+                  ctx->UpperWindowProportion(lo, hi, w, window_pair_cap);
     const double labeled_matches =
         static_cast<double>(dh_matches) + d_plus_matches;
     const double threshold =
         (1.0 - req.beta) * labeled_matches / (req.beta * d_minus);
-    return lower_window_proportion(lo) <= threshold;
+    return ctx->LowerWindowProportion(lo, hi, w, window_pair_cap) <= threshold;
   };
 
   precision_fixed = precision_fixed || precision_satisfied();
@@ -120,8 +100,7 @@ Result<HumoSolution> BaselineOptimizer::Optimize(
     if (!precision_fixed) {
       if (hi + 1 < m) {
         ++hi;
-        subset_matches[hi] = LabelSubset(partition, hi, oracle);
-        dh_matches += subset_matches[hi];
+        dh_matches += ctx->LabelSubset(hi);
         dh_pairs += partition[hi].size();
         moved = true;
       }
@@ -130,8 +109,7 @@ Result<HumoSolution> BaselineOptimizer::Optimize(
     if (!recall_fixed) {
       if (lo > 0) {
         --lo;
-        subset_matches[lo] = LabelSubset(partition, lo, oracle);
-        dh_matches += subset_matches[lo];
+        dh_matches += ctx->LabelSubset(lo);
         dh_pairs += partition[lo].size();
         moved = true;
       }

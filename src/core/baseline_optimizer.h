@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "common/result.h"
+#include "core/estimation_engine.h"
 #include "core/oracle.h"
 #include "core/partition.h"
 #include "core/solution.h"
@@ -43,8 +44,15 @@ class BaselineOptimizer {
   explicit BaselineOptimizer(BaselineOptions options = {})
       : options_(options) {}
 
-  /// Runs the search. The oracle accumulates the cost of every subset DH
-  /// absorbed (labels are needed to compute observed proportions).
+  /// Runs the search against a shared estimation context: subsets already
+  /// labeled there (by any earlier optimizer run) are served from the cache
+  /// without re-asking the oracle.
+  Result<HumoSolution> Optimize(EstimationContext* ctx,
+                                const QualityRequirement& req) const;
+
+  /// Convenience entry point with a private, throwaway context. The oracle
+  /// accumulates the cost of every subset DH absorbed (labels are needed to
+  /// compute observed proportions).
   Result<HumoSolution> Optimize(const SubsetPartition& partition,
                                 const QualityRequirement& req,
                                 Oracle* oracle) const;

@@ -29,6 +29,7 @@ CrowdOracle::CrowdOracle(const data::Workload* workload, CrowdOptions options)
 
 bool CrowdOracle::Label(size_t index) {
   assert(index < workload_->size());
+  ++total_requests_;
   const auto it = verdicts_.find(index);
   if (it != verdicts_.end()) return it->second;
 
@@ -48,6 +49,21 @@ bool CrowdOracle::Label(size_t index) {
   return verdict;
 }
 
+std::vector<char> CrowdOracle::InspectBatch(const std::vector<size_t>& indices) {
+  std::vector<char> verdicts(indices.size());
+  for (size_t t = 0; t < indices.size(); ++t) {
+    verdicts[t] = Label(indices[t]) ? 1 : 0;
+  }
+  return verdicts;
+}
+
+size_t CrowdOracle::InspectRange(size_t begin, size_t end) {
+  assert(begin <= end && end <= workload_->size());
+  size_t matches = 0;
+  for (size_t i = begin; i < end; ++i) matches += Label(i);
+  return matches;
+}
+
 double CrowdOracle::CostFraction() const {
   if (workload_->size() == 0) return 0.0;
   return static_cast<double>(worker_answers_) /
@@ -64,6 +80,7 @@ void CrowdOracle::Reset() {
   verdicts_.clear();
   worker_answers_ = 0;
   wrong_verdicts_ = 0;
+  total_requests_ = 0;
 }
 
 }  // namespace humo::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "data/workload.h"
 
@@ -33,8 +34,26 @@ class CrowdOracle {
   /// verdict without re-asking the crowd.
   bool Label(size_t index);
 
+  /// Batch adjudication: majority verdicts for `indices`, parallel to the
+  /// input. One batch is one posted task group on a crowdsourcing platform;
+  /// worker answers are purchased only for pairs without a cached verdict.
+  std::vector<char> InspectBatch(const std::vector<size_t>& indices);
+
+  /// Batch adjudication of the contiguous pair range [begin, end); returns
+  /// the number of match verdicts among them.
+  size_t InspectRange(size_t begin, size_t end);
+
   /// Total worker answers purchased.
   size_t worker_answers() const { return worker_answers_; }
+
+  /// Every pair index ever requested, including repeats served from the
+  /// verdict cache.
+  size_t total_requests() const { return total_requests_; }
+
+  /// Requests served from the verdict cache instead of a fresh crowd task.
+  size_t duplicate_requests() const {
+    return total_requests_ - pairs_adjudicated();
+  }
 
   /// Distinct pairs adjudicated.
   size_t pairs_adjudicated() const { return verdicts_.size(); }
@@ -55,6 +74,7 @@ class CrowdOracle {
   std::unordered_map<size_t, bool> verdicts_;
   size_t worker_answers_ = 0;
   size_t wrong_verdicts_ = 0;
+  size_t total_requests_ = 0;
 };
 
 }  // namespace humo::core

@@ -1,0 +1,178 @@
+#include "core/estimation_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace humo::core {
+
+void SubsetStatsCache::Resize(size_t num_subsets) {
+  full_known_.assign(num_subsets, 0);
+  full_count_.assign(num_subsets, 0);
+  stratum_known_.assign(num_subsets, 0);
+  strata_.assign(num_subsets, stats::Stratum{});
+}
+
+size_t SubsetStatsCache::FullCount(size_t k) const {
+  assert(HasFullCount(k));
+  return full_count_[k];
+}
+
+void SubsetStatsCache::SetFullCount(size_t k, size_t matches) {
+  full_known_[k] = 1;
+  full_count_[k] = matches;
+}
+
+const stats::Stratum& SubsetStatsCache::StratumAt(size_t k) const {
+  assert(HasStratum(k));
+  return strata_[k];
+}
+
+void SubsetStatsCache::SetStratum(size_t k, const stats::Stratum& stratum) {
+  stratum_known_[k] = 1;
+  strata_[k] = stratum;
+}
+
+void SubsetStatsCache::Clear() {
+  std::fill(full_known_.begin(), full_known_.end(), 0);
+  std::fill(stratum_known_.begin(), stratum_known_.end(), 0);
+}
+
+EstimationContext::EstimationContext(const SubsetPartition* partition,
+                                     Oracle* oracle)
+    : partition_(partition), oracle_(oracle) {
+  assert(partition_ != nullptr);
+  cache_.Resize(partition_->num_subsets());
+}
+
+bool EstimationContext::HasFullLabel(size_t k) const {
+  if (cache_.HasFullCount(k)) return true;
+  return cache_.HasStratum(k) && cache_.StratumAt(k).fully_enumerated();
+}
+
+size_t EstimationContext::LabelSubset(size_t k) {
+  assert(k < partition_->num_subsets());
+  const Subset& s = (*partition_)[k];
+  if (cache_.HasFullCount(k)) {
+    ++stats_.full_label_hits;
+    stats_.oracle_pairs_saved += s.size();
+    return cache_.FullCount(k);
+  }
+  if (cache_.HasStratum(k) && cache_.StratumAt(k).fully_enumerated()) {
+    // A fully-enumerated sampling stratum IS a full label — promote it.
+    const size_t matches = cache_.StratumAt(k).sample_positives;
+    cache_.SetFullCount(k, matches);
+    ++stats_.full_label_hits;
+    stats_.oracle_pairs_saved += s.size();
+    return matches;
+  }
+  ++stats_.full_label_misses;
+  // Only pairs the oracle has never answered are sent; answers it already
+  // holds (e.g. from an earlier sampling pass) are free lookups.
+  size_t matches = 0;
+  std::vector<size_t> fresh;
+  fresh.reserve(s.size());
+  for (size_t i = s.begin; i < s.end; ++i) {
+    if (oracle_->WasAsked(i)) {
+      matches += oracle_->CachedAnswer(i);
+    } else {
+      fresh.push_back(i);
+    }
+  }
+  const std::vector<char> answers = oracle_->InspectBatch(fresh);
+  for (char a : answers) matches += a;
+  stats_.oracle_pairs_inspected += fresh.size();
+  stats_.oracle_pairs_saved += s.size() - fresh.size();
+  cache_.SetFullCount(k, matches);
+  return matches;
+}
+
+const stats::Stratum& EstimationContext::SampleSubset(size_t k, size_t take,
+                                                      Rng* rng) {
+  assert(k < partition_->num_subsets());
+  const Subset& s = (*partition_)[k];
+  take = std::min(take, s.size());
+  if (cache_.HasFullCount(k) &&
+      (!cache_.HasStratum(k) || !cache_.StratumAt(k).fully_enumerated())) {
+    // Full enumeration dominates any sample (including an undersized cached
+    // one): pin with the exact count.
+    stats::Stratum st;
+    st.population = s.size();
+    st.sample_size = s.size();
+    st.sample_positives = cache_.FullCount(k);
+    cache_.SetStratum(k, st);
+  }
+  if (cache_.HasStratum(k)) {
+    const stats::Stratum& cached = cache_.StratumAt(k);
+    if (cached.sample_size >= take) {
+      ++stats_.stratum_hits;
+      stats_.oracle_pairs_saved += take;
+      return cached;
+    }
+  }
+  ++stats_.stratum_misses;
+  // Same draw the historical serial path made, so a fresh context
+  // reproduces historical sampling behavior bit-for-bit.
+  const std::vector<size_t> picks = rng->SampleWithoutReplacement(s.size(), take);
+  stats::Stratum st;
+  st.population = s.size();
+  st.sample_size = take;
+  std::vector<size_t> fresh;
+  fresh.reserve(take);
+  for (size_t off : picks) {
+    const size_t i = s.begin + off;
+    if (oracle_->WasAsked(i)) {
+      st.sample_positives += oracle_->CachedAnswer(i);
+    } else {
+      fresh.push_back(i);
+    }
+  }
+  const std::vector<char> answers = oracle_->InspectBatch(fresh);
+  for (char a : answers) st.sample_positives += a;
+  stats_.oracle_pairs_inspected += fresh.size();
+  stats_.oracle_pairs_saved += take - fresh.size();
+  cache_.SetStratum(k, st);
+  return cache_.StratumAt(k);
+}
+
+double EstimationContext::UpperWindowProportion(size_t lo, size_t hi,
+                                                size_t window,
+                                                size_t max_pairs) const {
+  assert(window > 0 && lo <= hi && hi < partition_->num_subsets());
+  size_t pairs = 0, matches = 0, taken = 0;
+  for (size_t k = hi;;) {
+    if (max_pairs != 0 && pairs >= max_pairs) break;
+    pairs += (*partition_)[k].size();
+    matches += cache_.FullCount(k);
+    ++taken;
+    if (k == lo || taken == window) break;
+    --k;
+  }
+  return pairs == 0
+             ? 0.0
+             : static_cast<double>(matches) / static_cast<double>(pairs);
+}
+
+double EstimationContext::LowerWindowProportion(size_t lo, size_t hi,
+                                                size_t window,
+                                                size_t max_pairs) const {
+  assert(window > 0 && lo <= hi && hi < partition_->num_subsets());
+  size_t pairs = 0, matches = 0, taken = 0;
+  for (size_t k = lo;;) {
+    if (max_pairs != 0 && pairs >= max_pairs) break;
+    pairs += (*partition_)[k].size();
+    matches += cache_.FullCount(k);
+    ++taken;
+    if (k == hi || taken == window) break;
+    ++k;
+  }
+  return pairs == 0
+             ? 0.0
+             : static_cast<double>(matches) / static_cast<double>(pairs);
+}
+
+void EstimationContext::StoreSamplingOutcome(
+    std::shared_ptr<const PartialSamplingOutcome> o) {
+  sampling_outcome_ = std::move(o);
+}
+
+}  // namespace humo::core

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/gp_subset_model.h"
+#include "core/oracle.h"
+#include "core/partition.h"
+#include "core/solution.h"
+#include "stats/stratified.h"
+
+namespace humo::core {
+
+/// Counters describing how much estimation work the engine reused instead of
+/// recomputing (and, crucially, instead of re-asking the human).
+struct CacheStats {
+  /// LabelSubset calls answered from the cache (no oracle traffic).
+  size_t full_label_hits = 0;
+  /// LabelSubset calls that had to inspect at least one fresh pair.
+  size_t full_label_misses = 0;
+  /// SampleSubset calls answered from a cached stratum or full enumeration.
+  size_t stratum_hits = 0;
+  /// SampleSubset calls that drew and inspected a fresh sample.
+  size_t stratum_misses = 0;
+  /// Fresh pair inspections the engine routed to the oracle.
+  size_t oracle_pairs_inspected = 0;
+  /// Pair inspections avoided: requested through the engine but served from
+  /// the subset cache or the oracle's answer memory without a new request.
+  size_t oracle_pairs_saved = 0;
+};
+
+/// Memoized per-subset statistics over one SubsetPartition: exact match
+/// counts of fully human-labeled subsets and sampling strata of partially
+/// sampled ones. This is the state BASE's window estimates, SAMP's strata
+/// and GP pins, and HYBR's re-extension all read — holding it in one place
+/// is what lets a later optimizer run skip every inspection an earlier run
+/// already paid for.
+class SubsetStatsCache {
+ public:
+  SubsetStatsCache() = default;
+  explicit SubsetStatsCache(size_t num_subsets) { Resize(num_subsets); }
+
+  void Resize(size_t num_subsets);
+  size_t num_subsets() const { return full_known_.size(); }
+
+  bool HasFullCount(size_t k) const { return full_known_[k] != 0; }
+  size_t FullCount(size_t k) const;
+  void SetFullCount(size_t k, size_t matches);
+
+  bool HasStratum(size_t k) const { return stratum_known_[k] != 0; }
+  const stats::Stratum& StratumAt(size_t k) const;
+  void SetStratum(size_t k, const stats::Stratum& stratum);
+
+  /// Drops every cached statistic (counts and strata).
+  void Clear();
+
+ private:
+  std::vector<char> full_known_;
+  std::vector<size_t> full_count_;
+  std::vector<char> stratum_known_;
+  std::vector<stats::Stratum> strata_;
+};
+
+/// Everything the hybrid approach needs from a partial-sampling run: the
+/// solution, the fitted subset-level GP model, the raw per-subset sampling
+/// data, and the requirement the run certified against.
+struct PartialSamplingOutcome {
+  HumoSolution solution;
+  std::shared_ptr<GpSubsetModel> model;
+  /// Per-subset sampling strata; unsampled subsets have sample_size == 0.
+  std::vector<stats::Stratum> strata;
+  /// Which subsets were sampled during Algorithm 1.
+  std::vector<bool> sampled;
+  /// Requirement the outcome was produced for; a consumer reusing the
+  /// outcome must be certifying the same alpha/beta/theta.
+  QualityRequirement req;
+};
+
+/// Shared estimation state for one (partition, oracle) pair.
+///
+/// All four optimizers (BASE §V, SAMP §VI-A/B, HYBR §VII) consume subset
+/// statistics that are expensive only because producing them asks the human:
+/// full enumerations, random samples, GP fits over the samples, and the
+/// confidence bounds derived from them. Running the optimizers against one
+/// EstimationContext memoizes that work — HYBR's re-extension phase after a
+/// SAMP run issues ZERO duplicate oracle inspections, because every subset
+/// SAMP enumerated is served from the SubsetStatsCache and every pair SAMP
+/// sampled is filtered out of the batches the engine sends.
+///
+/// Human interaction goes through Oracle::InspectBatch / InspectRange so a
+/// subset is one batched unit of human work. Heavy machine-side math (GP
+/// Gram construction, Cholesky, simulation) runs on the process-global
+/// ThreadPool (size it with HUMO_NUM_THREADS or
+/// ThreadPool::SetGlobalThreads) with deterministic per-task RNG streams.
+class EstimationContext {
+ public:
+  /// `partition` and `oracle` must outlive the context.
+  EstimationContext(const SubsetPartition* partition, Oracle* oracle);
+
+  const SubsetPartition& partition() const { return *partition_; }
+  Oracle* oracle() const { return oracle_; }
+
+  /// Exact match count of subset k with every pair human-labeled.
+  /// Memoized; a cached full count (or a cached fully-enumerated stratum)
+  /// is returned without any oracle traffic, and on a miss only the pairs
+  /// the oracle has not already answered are inspected (as one batch).
+  size_t LabelSubset(size_t k);
+
+  /// True when subset k's exact match count is already known to the engine.
+  bool HasFullLabel(size_t k) const;
+
+  /// Sampling stratum of subset k with up to `take` pairs labeled.
+  /// Memoized: a cached stratum with enough samples (or a full enumeration)
+  /// is returned without consuming `rng` or touching the oracle; otherwise a
+  /// fresh sample is drawn from `rng` exactly like the historical serial
+  /// path and inspected as one batch (minus already-answered pairs).
+  const stats::Stratum& SampleSubset(size_t k, size_t take, Rng* rng);
+
+  /// Observed match proportion of the `window` most recently labeled
+  /// subsets on the upper side of DH = [lo, hi] (walking down from hi).
+  /// `max_pairs` optionally caps the window by pair count (BASE's Eq. 7
+  /// window uses window * subset_size; 0 = no cap). Every visited subset
+  /// must have a cached full count.
+  double UpperWindowProportion(size_t lo, size_t hi, size_t window,
+                               size_t max_pairs = 0) const;
+
+  /// Mirror image on the lower side of DH (walking up from lo).
+  double LowerWindowProportion(size_t lo, size_t hi, size_t window,
+                               size_t max_pairs = 0) const;
+
+  /// Publishes a partial-sampling outcome for later consumers (HYBR's
+  /// re-extension, benches chaining optimizers). The engine stores one
+  /// outcome; a later store replaces it.
+  void StoreSamplingOutcome(std::shared_ptr<const PartialSamplingOutcome> o);
+
+  /// The stored outcome, or null when no SAMP run has completed here.
+  std::shared_ptr<const PartialSamplingOutcome> sampling_outcome() const {
+    return sampling_outcome_;
+  }
+
+  const SubsetStatsCache& cache() const { return cache_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  const SubsetPartition* partition_;
+  Oracle* oracle_;
+  SubsetStatsCache cache_;
+  CacheStats stats_;
+  std::shared_ptr<const PartialSamplingOutcome> sampling_outcome_;
+};
+
+}  // namespace humo::core

@@ -3,37 +3,51 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 namespace humo::core {
-namespace {
-
-size_t LabelSubset(const SubsetPartition& partition, size_t k,
-                   Oracle* oracle) {
-  size_t matches = 0;
-  const Subset& s = partition[k];
-  for (size_t i = s.begin; i < s.end; ++i) matches += oracle->Label(i);
-  return matches;
-}
-
-}  // namespace
 
 Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
                                                const QualityRequirement& req,
                                                Oracle* oracle) const {
   if (oracle == nullptr)
     return Status::InvalidArgument("oracle must not be null");
+  EstimationContext ctx(&partition, oracle);
+  return Optimize(&ctx, req);
+}
+
+Result<HumoSolution> HybridOptimizer::Optimize(EstimationContext* ctx,
+                                               const QualityRequirement& req) const {
+  if (ctx == nullptr)
+    return Status::InvalidArgument("estimation context must not be null");
+  if (ctx->oracle() == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const SubsetPartition& partition = ctx->partition();
   const size_t m = partition.num_subsets();
   if (m == 0) return Status::InvalidArgument("empty workload");
   if (options_.window_subsets == 0)
     return Status::InvalidArgument("window_subsets must be positive");
 
   // ---- Step 1: initial partial-sampling solution S0. ----
-  PartialSamplingOptimizer samp(options_.sampling);
-  HUMO_ASSIGN_OR_RETURN(PartialSamplingOutcome s0,
-                        samp.OptimizeDetailed(partition, req, oracle));
-  const size_t i0 = s0.solution.h_lo;
-  const size_t j0 = s0.solution.h_hi;
+  // Reuse the outcome an earlier SAMP run published into the context when
+  // it certified the same requirement; otherwise run SAMP here (which
+  // publishes its outcome as a side effect). Reuse is the whole point of
+  // the shared engine: the GP model, the strata, and every human label
+  // behind them carry over at zero additional oracle cost.
+  std::shared_ptr<const PartialSamplingOutcome> s0 = ctx->sampling_outcome();
+  const bool reusable = s0 != nullptr && s0->req.alpha == req.alpha &&
+                        s0->req.beta == req.beta && s0->req.theta == req.theta;
+  if (!reusable) {
+    PartialSamplingOptimizer samp(options_.sampling);
+    HUMO_ASSIGN_OR_RETURN(PartialSamplingOutcome fresh,
+                          samp.OptimizeDetailed(ctx, req));
+    (void)fresh;  // published into the context by OptimizeDetailed
+    s0 = ctx->sampling_outcome();
+    assert(s0 != nullptr);
+  }
+  const size_t i0 = s0->solution.h_lo;
+  const size_t j0 = s0->solution.h_hi;
   const double conf = std::sqrt(req.theta);
   // Same discretization-guard margin the sampling search applies: DH moves
   // in whole subsets, so certify a hair above the target.
@@ -45,40 +59,14 @@ Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
   // ---- Step 2: re-extend DH from the median subset of [i0, j0]. ----
   const size_t mid = i0 + (j0 - i0) / 2;
   size_t lo = mid, hi = mid;
-  std::vector<size_t> subset_matches(m, 0);
-  subset_matches[mid] = LabelSubset(partition, mid, oracle);
-  size_t dh_matches = subset_matches[mid];
+  size_t dh_matches = ctx->LabelSubset(mid);
 
   // GP accumulators for D+ = [hi+1, m-1] and D- = [0, lo-1].
-  GpRangeAccumulator dplus(s0.model.get()), dminus(s0.model.get());
+  GpRangeAccumulator dplus(s0->model.get()), dminus(s0->model.get());
   if (hi + 1 < m) dplus.SetRange(hi + 1, m - 1);
   if (lo > 0) dminus.SetRange(0, lo - 1);
 
   const size_t w = options_.window_subsets;
-  auto upper_window_proportion = [&]() {
-    size_t pairs = 0, matches = 0;
-    size_t taken = 0;
-    for (size_t k = hi;; --k) {
-      pairs += partition[k].size();
-      matches += subset_matches[k];
-      ++taken;
-      if (k == lo || taken == w) break;
-    }
-    return pairs == 0 ? 0.0
-                      : static_cast<double>(matches) / static_cast<double>(pairs);
-  };
-  auto lower_window_proportion = [&]() {
-    size_t pairs = 0, matches = 0;
-    size_t taken = 0;
-    for (size_t k = lo; k <= hi; ++k) {
-      pairs += partition[k].size();
-      matches += subset_matches[k];
-      ++taken;
-      if (taken == w) break;
-    }
-    return pairs == 0 ? 0.0
-                      : static_cast<double>(matches) / static_cast<double>(pairs);
-  };
 
   // Precision check with exact DH knowledge (every DH subset is labeled):
   //   precision >= (dh_matches + lb(n+_{D+})) / (dh_matches + |D+|).
@@ -88,7 +76,7 @@ Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
   auto precision_ok = [&]() {
     if (hi + 1 >= m) return true;  // D+ empty
     const double n_dp = static_cast<double>(partition.PairsInRange(hi + 1, m - 1));
-    const double lb_base = n_dp * upper_window_proportion();
+    const double lb_base = n_dp * ctx->UpperWindowProportion(lo, hi, w);
     const double lb_samp = dplus.LowerBound(conf);
     const double lb = std::max(lb_base, lb_samp);
     const double dh = static_cast<double>(dh_matches);
@@ -105,7 +93,7 @@ Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
   auto recall_ok = [&]() {
     if (lo == 0) return true;  // D- empty
     const double n_dm = static_cast<double>(partition.PairsInRange(0, lo - 1));
-    const double ub_base = n_dm * lower_window_proportion();
+    const double ub_base = n_dm * ctx->LowerWindowProportion(lo, hi, w);
     const double ub_samp = dminus.UpperBound(conf);
     const double ub = std::min(ub_base, ub_samp);
     const double n_dp_lb =
@@ -113,7 +101,7 @@ Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
             ? 0.0
             : std::max(dplus.LowerBound(conf),
                        static_cast<double>(partition.PairsInRange(hi + 1, m - 1)) *
-                           upper_window_proportion());
+                           ctx->UpperWindowProportion(lo, hi, w));
     const double found = static_cast<double>(dh_matches) + n_dp_lb;
     const double denom = found + ub;
     if (denom <= 0.0) return true;
@@ -129,8 +117,7 @@ Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
     if (!precision_fixed) {
       if (hi < j0) {
         ++hi;
-        subset_matches[hi] = LabelSubset(partition, hi, oracle);
-        dh_matches += subset_matches[hi];
+        dh_matches += ctx->LabelSubset(hi);
         dplus.ShrinkLeft();  // subset hi moved from D+ into DH
         moved = true;
         precision_fixed = precision_ok();
@@ -142,8 +129,7 @@ Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
     if (!recall_fixed) {
       if (lo > i0) {
         --lo;
-        subset_matches[lo] = LabelSubset(partition, lo, oracle);
-        dh_matches += subset_matches[lo];
+        dh_matches += ctx->LabelSubset(lo);
         dminus.ShrinkRight();  // subset lo moved from D- into DH
         moved = true;
         recall_fixed = recall_ok();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "common/result.h"
+#include "core/estimation_engine.h"
 #include "core/oracle.h"
 #include "core/partial_sampling_optimizer.h"
 #include "core/partition.h"
@@ -26,6 +27,15 @@ class HybridOptimizer {
  public:
   explicit HybridOptimizer(HybridOptions options = {}) : options_(options) {}
 
+  /// Runs the search against a shared estimation context. When the context
+  /// already holds a partial-sampling outcome for the same requirement
+  /// (from an earlier SAMP run), the S0 phase is skipped entirely and the
+  /// re-extension phase issues zero duplicate oracle inspections — every
+  /// subset SAMP enumerated is served from the SubsetStatsCache.
+  Result<HumoSolution> Optimize(EstimationContext* ctx,
+                                const QualityRequirement& req) const;
+
+  /// Convenience entry point with a private, throwaway context.
   Result<HumoSolution> Optimize(const SubsetPartition& partition,
                                 const QualityRequirement& req,
                                 Oracle* oracle) const;

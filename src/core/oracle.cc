@@ -26,6 +26,7 @@ Oracle::Oracle(const data::Workload* workload, double error_rate,
 
 bool Oracle::Label(size_t index) {
   assert(index < workload_->size());
+  ++total_requests_;
   const auto it = answers_.find(index);
   if (it != answers_.end()) return it->second;
   bool truth = (*workload_)[index].is_match;
@@ -37,11 +38,35 @@ bool Oracle::Label(size_t index) {
   return truth;
 }
 
+std::vector<char> Oracle::InspectBatch(const std::vector<size_t>& indices) {
+  std::vector<char> answers(indices.size());
+  for (size_t t = 0; t < indices.size(); ++t) {
+    answers[t] = Label(indices[t]) ? 1 : 0;
+  }
+  return answers;
+}
+
+size_t Oracle::InspectRange(size_t begin, size_t end) {
+  assert(begin <= end && end <= workload_->size());
+  size_t matches = 0;
+  for (size_t i = begin; i < end; ++i) matches += Label(i);
+  return matches;
+}
+
+bool Oracle::CachedAnswer(size_t index) const {
+  const auto it = answers_.find(index);
+  assert(it != answers_.end() && "CachedAnswer on an uninspected pair");
+  return it->second;
+}
+
 double Oracle::CostFraction() const {
   if (workload_->size() == 0) return 0.0;
   return static_cast<double>(cost()) / static_cast<double>(workload_->size());
 }
 
-void Oracle::Reset() { answers_.clear(); }
+void Oracle::Reset() {
+  answers_.clear();
+  total_requests_ = 0;
+}
 
 }  // namespace humo::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "data/workload.h"
 
@@ -28,15 +29,40 @@ class Oracle {
   /// Human-labels pair `index`; returns true when labeled match.
   bool Label(size_t index);
 
+  /// Batch inspection: answers for `indices`, parallel to the input. Cost
+  /// accounting is identical to calling Label() per index — each DISTINCT
+  /// pair is charged once — but the batch is the unit of human interaction
+  /// (one crowd task / review session instead of one round-trip per pair),
+  /// which is what the estimation engine routes through.
+  std::vector<char> InspectBatch(const std::vector<size_t>& indices);
+
+  /// Batch inspection of the contiguous pair range [begin, end); returns
+  /// the number of matches among them.
+  size_t InspectRange(size_t begin, size_t end);
+
   /// Number of distinct pairs inspected so far (the paper's human-cost
   /// metric).
   size_t cost() const { return answers_.size(); }
+
+  /// Every pair index ever passed to Label/InspectBatch/InspectRange,
+  /// including repeats answered from memory.
+  size_t total_requests() const { return total_requests_; }
+
+  /// Requests that were answered from memory instead of a fresh inspection.
+  /// The estimation engine's caches exist to keep this at zero: a duplicate
+  /// request is a wasted round-trip to the human even though it is free in
+  /// the paper's distinct-pair cost metric.
+  size_t duplicate_requests() const { return total_requests_ - cost(); }
 
   /// Cost as a fraction of the workload (the psi of Tables V/VI).
   double CostFraction() const;
 
   /// True if the pair was already inspected.
   bool WasAsked(size_t index) const { return answers_.count(index) > 0; }
+
+  /// The remembered answer for an already-inspected pair (free lookup; does
+  /// not count as a request). Precondition: WasAsked(index).
+  bool CachedAnswer(size_t index) const;
 
   /// Forgets all answers and resets the cost counter.
   void Reset();
@@ -47,6 +73,7 @@ class Oracle {
   const data::Workload* workload_;
   double error_rate_;
   uint64_t seed_;
+  size_t total_requests_ = 0;
   std::unordered_map<size_t, bool> answers_;
 };
 

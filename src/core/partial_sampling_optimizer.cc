@@ -11,19 +11,6 @@
 namespace humo::core {
 namespace {
 
-/// Samples `take` pairs of subset k through the oracle and fills a stratum.
-stats::Stratum SampleSubset(const SubsetPartition& partition, size_t k,
-                            size_t take, Rng* rng, Oracle* oracle) {
-  const Subset& s = partition[k];
-  take = std::min(take, s.size());
-  stats::Stratum st;
-  st.population = s.size();
-  st.sample_size = take;
-  const auto picks = rng->SampleWithoutReplacement(s.size(), take);
-  for (size_t off : picks) st.sample_positives += oracle->Label(s.begin + off);
-  return st;
-}
-
 /// Leave-one-out calibration of the fitted GP: for each sampled subset,
 /// predict its observed proportion from the other samples and compare the
 /// squared residual to the LOO predictive variance. The mean standardized
@@ -171,11 +158,29 @@ Result<HumoSolution> PartialSamplingOptimizer::Optimize(
   return outcome.solution;
 }
 
+Result<HumoSolution> PartialSamplingOptimizer::Optimize(
+    EstimationContext* ctx, const QualityRequirement& req) const {
+  HUMO_ASSIGN_OR_RETURN(PartialSamplingOutcome outcome,
+                        OptimizeDetailed(ctx, req));
+  return outcome.solution;
+}
+
 Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
     const SubsetPartition& partition, const QualityRequirement& req,
     Oracle* oracle) const {
   if (oracle == nullptr)
     return Status::InvalidArgument("oracle must not be null");
+  EstimationContext ctx(&partition, oracle);
+  return OptimizeDetailed(&ctx, req);
+}
+
+Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
+    EstimationContext* ctx, const QualityRequirement& req) const {
+  if (ctx == nullptr)
+    return Status::InvalidArgument("estimation context must not be null");
+  if (ctx->oracle() == nullptr)
+    return Status::InvalidArgument("oracle must not be null");
+  const SubsetPartition& partition = ctx->partition();
   const size_t m = partition.num_subsets();
   if (m == 0) return Status::InvalidArgument("empty workload");
   if (options_.samples_per_subset == 0)
@@ -204,8 +209,7 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
                                          options_.sample_fraction_hi)));
   auto take_subset = [&](size_t k) {
     if (sampled[k]) return;
-    strata[k] =
-        SampleSubset(partition, k, options_.samples_per_subset, &rng, oracle);
+    strata[k] = ctx->SampleSubset(k, options_.samples_per_subset, &rng);
     sampled[k] = true;
     train.insert(std::upper_bound(train.begin(), train.end(), k), k);
   };
@@ -310,8 +314,8 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
     // Stop when no unsampled subset contributes meaningfully (under one
     // pair's worth of uncertainty).
     if (best_k >= m || best_score < 1.0) break;
-    strata[best_k] = SampleSubset(partition, best_k,
-                                  options_.samples_per_subset, &rng, oracle);
+    strata[best_k] =
+        ctx->SampleSubset(best_k, options_.samples_per_subset, &rng);
     sampled[best_k] = true;
     train.insert(std::upper_bound(train.begin(), train.end(), best_k),
                  best_k);
@@ -424,6 +428,12 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
   outcome.model = std::move(model);
   outcome.strata = std::move(strata);
   outcome.sampled = std::move(sampled);
+  outcome.req = req;
+  // Publish for later consumers on the same context (HYBR's re-extension,
+  // chained bench runs): they start from this model and these strata
+  // without re-asking the oracle.
+  ctx->StoreSamplingOutcome(
+      std::make_shared<const PartialSamplingOutcome>(outcome));
   return outcome;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/estimation_engine.h"
 #include "core/gp_subset_model.h"
 #include "core/oracle.h"
 #include "core/partition.h"
@@ -55,34 +56,37 @@ struct PartialSamplingOptions {
   uint64_t seed = 5;
 };
 
-/// Everything the hybrid approach needs from a partial-sampling run: the
-/// solution, the fitted subset-level GP model, and the raw per-subset
-/// sampling data.
-struct PartialSamplingOutcome {
-  HumoSolution solution;
-  std::shared_ptr<GpSubsetModel> model;
-  /// Per-subset sampling strata; unsampled subsets have sample_size == 0.
-  std::vector<stats::Stratum> strata;
-  /// Which subsets were sampled during Algorithm 1.
-  std::vector<bool> sampled;
-};
-
 /// SAMP (partial-sampling variant, the paper's default): Algorithm 1 trains
 /// a Gaussian-process regression of match proportion against subset
 /// similarity from a budgeted set of sampled subsets, then the bound search
 /// of §VI-A runs against GP-posterior confidence intervals (Eq. 19-21)
 /// instead of per-stratum ones.
+///
+/// The per-subset sampling data and the fitted model are published into the
+/// EstimationContext (see PartialSamplingOutcome in estimation_engine.h), so
+/// a subsequent HYBR run on the same context starts from them for free.
 class PartialSamplingOptimizer {
  public:
   explicit PartialSamplingOptimizer(PartialSamplingOptions options = {})
       : options_(options) {}
 
+  /// Runs Algorithm 1 + the bound search against a shared estimation
+  /// context; strata an earlier run already paid for are reused.
+  Result<HumoSolution> Optimize(EstimationContext* ctx,
+                                const QualityRequirement& req) const;
+
+  /// Convenience entry point with a private, throwaway context.
   Result<HumoSolution> Optimize(const SubsetPartition& partition,
                                 const QualityRequirement& req,
                                 Oracle* oracle) const;
 
   /// Like Optimize but also returns the fitted model and sampling data
-  /// (consumed by HybridOptimizer).
+  /// (consumed by HybridOptimizer). The outcome is additionally stored in
+  /// the context for later consumers.
+  Result<PartialSamplingOutcome> OptimizeDetailed(
+      EstimationContext* ctx, const QualityRequirement& req) const;
+
+  /// Detailed run with a private, throwaway context.
   Result<PartialSamplingOutcome> OptimizeDetailed(
       const SubsetPartition& partition, const QualityRequirement& req,
       Oracle* oracle) const;

@@ -34,14 +34,28 @@ ResolutionResult ApplySolution(const SubsetPartition& partition,
                            .begin;
   }
 
-  for (size_t i = 0; i < workload.size(); ++i) {
-    if (has_human && i >= first_human && i < last_human) {
-      result.labels[i] = oracle->Label(i) ? 1 : 0;
-    } else if (i >= match_from) {
-      result.labels[i] = 1;
-    } else {
-      result.labels[i] = 0;
+  // DH verification goes to the oracle as one batch of only the pairs it
+  // has not already answered (answers from the optimization phase are free
+  // lookups) — the same no-duplicate-request discipline the estimation
+  // engine applies, so chained pipelines keep duplicate_requests() at zero.
+  if (has_human) {
+    std::vector<size_t> fresh;
+    fresh.reserve(last_human - first_human);
+    for (size_t i = first_human; i < last_human; ++i) {
+      if (oracle->WasAsked(i)) {
+        result.labels[i] = oracle->CachedAnswer(i) ? 1 : 0;
+      } else {
+        fresh.push_back(i);
+      }
     }
+    const std::vector<char> answers = oracle->InspectBatch(fresh);
+    for (size_t t = 0; t < fresh.size(); ++t) {
+      result.labels[fresh[t]] = answers[t] ? 1 : 0;
+    }
+  }
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (has_human && i >= first_human && i < last_human) continue;
+    result.labels[i] = i >= match_from ? 1 : 0;
   }
   result.human_cost = oracle->cost();
   result.human_cost_fraction = oracle->CostFraction();

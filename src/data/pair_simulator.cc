@@ -3,10 +3,14 @@
 #include <cassert>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "stats/sampling.h"
 
 namespace humo::data {
 namespace {
+
+/// Pairs per generation task; one task is one deterministic RNG block.
+constexpr size_t kSimulateGrain = 8192;
 
 /// Draws from a weighted Beta mixture (weights need not sum to 1).
 double SampleMixture(Rng* rng, const std::vector<BetaComponent>& components) {
@@ -27,20 +31,28 @@ double SampleMixture(Rng* rng, const std::vector<BetaComponent>& components) {
 Workload SimulatePairs(const PairSimulatorConfig& config) {
   assert(config.num_matches <= config.num_pairs);
   assert(config.hi > config.lo);
-  Rng rng(config.seed);
-  std::vector<InstancePair> pairs;
-  pairs.reserve(config.num_pairs);
+  std::vector<InstancePair> pairs(config.num_pairs);
   const double span = config.hi - config.lo;
-  for (size_t i = 0; i < config.num_pairs; ++i) {
-    InstancePair p;
-    p.left_id = static_cast<uint32_t>(i);
-    p.right_id = static_cast<uint32_t>(i);
-    p.is_match = i < config.num_matches;
-    const double b = SampleMixture(
-        &rng, p.is_match ? config.match_components : config.unmatch_components);
-    p.similarity = config.lo + span * b;
-    pairs.push_back(p);
-  }
+  // Each pair draws from its own Rng::Stream(seed, i): the realization is a
+  // pure function of (config, i), independent of iteration order, so the
+  // chunked parallel fill below is bit-identical to a serial loop — and the
+  // draw count of one pair (Beta sampling uses rejection) never shifts the
+  // similarities of the pairs after it.
+  ThreadPool::Global()->ParallelFor(
+      config.num_pairs, kSimulateGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Rng rng = Rng::Stream(config.seed, static_cast<uint64_t>(i));
+          InstancePair p;
+          p.left_id = static_cast<uint32_t>(i);
+          p.right_id = static_cast<uint32_t>(i);
+          p.is_match = i < config.num_matches;
+          const double b = SampleMixture(&rng, p.is_match
+                                                   ? config.match_components
+                                                   : config.unmatch_components);
+          p.similarity = config.lo + span * b;
+          pairs[i] = p;
+        }
+      });
   return Workload(std::move(pairs));
 }
 

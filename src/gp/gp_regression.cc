@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace humo::gp {
 namespace {
@@ -138,31 +140,45 @@ Result<GpRegression> SelectGpByMarginalLikelihood(
     const std::vector<GpCandidate>& grid, KernelFamily family,
     GpOptions options, std::vector<double> noise_variances) {
   if (grid.empty()) return Status::InvalidArgument("empty candidate grid");
+  // Candidate fits are independent (each builds its own Gram matrix and
+  // Cholesky factor), so the grid is the natural unit of parallelism — one
+  // fit per task, kernel construction inside each fit running inline. The
+  // winner is selected serially afterwards with the same strict-improvement
+  // rule the serial loop applied (first-best wins on ties), so the chosen
+  // model is identical at any thread count.
+  std::vector<std::optional<Result<GpRegression>>> fits(grid.size());
+  ThreadPool::Global()->ParallelFor(
+      grid.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          const auto& cand = grid[c];
+          std::unique_ptr<Kernel> k;
+          switch (family) {
+            case KernelFamily::kRbf:
+              k = std::make_unique<RbfKernel>(cand.signal_variance,
+                                              cand.length_scale);
+              break;
+            case KernelFamily::kMatern32:
+              k = std::make_unique<Matern32Kernel>(cand.signal_variance,
+                                                   cand.length_scale);
+              break;
+            case KernelFamily::kMatern52:
+              k = std::make_unique<Matern52Kernel>(cand.signal_variance,
+                                                   cand.length_scale);
+              break;
+          }
+          fits[c].emplace(
+              GpRegression::Fit(std::move(k), x, y, options, noise_variances));
+        }
+      });
   double best_lml = -std::numeric_limits<double>::infinity();
   Result<GpRegression> best =
       Status::Internal("no candidate produced a valid fit");
-  for (const auto& cand : grid) {
-    std::unique_ptr<Kernel> k;
-    switch (family) {
-      case KernelFamily::kRbf:
-        k = std::make_unique<RbfKernel>(cand.signal_variance,
-                                        cand.length_scale);
-        break;
-      case KernelFamily::kMatern32:
-        k = std::make_unique<Matern32Kernel>(cand.signal_variance,
-                                             cand.length_scale);
-        break;
-      case KernelFamily::kMatern52:
-        k = std::make_unique<Matern52Kernel>(cand.signal_variance,
-                                             cand.length_scale);
-        break;
-    }
-    auto fit = GpRegression::Fit(std::move(k), x, y, options, noise_variances);
-    if (!fit.ok()) continue;
-    const double lml = fit->LogMarginalLikelihood();
+  for (auto& fit : fits) {
+    if (!fit.has_value() || !fit->ok()) continue;
+    const double lml = (*fit)->LogMarginalLikelihood();
     if (lml > best_lml) {
       best_lml = lml;
-      best = std::move(fit);
+      best = std::move(*fit);
     }
   }
   return best;

@@ -4,26 +4,48 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace humo::gp {
+namespace {
+
+/// Rows below this count are built inline: the fork/join handshake costs
+/// more than the kernel evaluations it would distribute.
+constexpr size_t kParallelRowGrain = 64;
+
+}  // namespace
 
 linalg::Matrix Kernel::Gram(const std::vector<double>& xs,
                             const std::vector<double>& ys) const {
   linalg::Matrix k(xs.size(), ys.size());
-  for (size_t i = 0; i < xs.size(); ++i)
-    for (size_t j = 0; j < ys.size(); ++j) k(i, j) = (*this)(xs[i], ys[j]);
+  // Rows are independent and each entry is written exactly once, so the
+  // parallel build is bit-identical to the serial one at any thread count.
+  ThreadPool::Global()->ParallelFor(
+      xs.size(), kParallelRowGrain, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i)
+          for (size_t j = 0; j < ys.size(); ++j)
+            k(i, j) = (*this)(xs[i], ys[j]);
+      });
   return k;
 }
 
 linalg::Matrix Kernel::GramSymmetric(const std::vector<double>& xs) const {
   linalg::Matrix k(xs.size(), xs.size());
-  for (size_t i = 0; i < xs.size(); ++i) {
-    for (size_t j = 0; j <= i; ++j) {
-      const double v = (*this)(xs[i], xs[j]);
-      k(i, j) = v;
-      k(j, i) = v;
-    }
-  }
+  // Each task owns rows [row_begin, row_end): it computes the lower
+  // triangle of those rows and mirrors into the columns above the diagonal,
+  // i.e. writes k(i, j) and k(j, i) for j <= i — cell (j, i) belongs to row
+  // i's task alone (row j's task only writes columns <= j), so tasks never
+  // overlap and the result matches the serial fill exactly.
+  ThreadPool::Global()->ParallelFor(
+      xs.size(), kParallelRowGrain, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          for (size_t j = 0; j <= i; ++j) {
+            const double v = (*this)(xs[i], xs[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+          }
+        }
+      });
   return k;
 }
 

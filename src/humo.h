@@ -20,6 +20,23 @@
 ///   auto result = core::ApplySolution(partition, *solution, &oracle);
 ///   // result.labels now meets precision >= 0.9 and recall >= 0.9 with
 ///   // confidence 0.9; result.human_cost pairs were inspected manually.
+///
+/// To run several optimizers over the same workload without paying for the
+/// same human labels twice, share one estimation context between them:
+///
+///   core::EstimationContext ctx(&partition, &oracle);
+///   core::PartialSamplingOptimizer samp;
+///   auto s0 = samp.Optimize(&ctx, req);
+///   core::HybridOptimizer hybr;
+///   auto s1 = hybr.Optimize(&ctx, req);  // reuses SAMP's labels, strata,
+///                                        // and GP model: zero duplicate
+///                                        // oracle inspections
+///   // ctx.stats() reports cache hits and the oracle traffic saved.
+///
+/// Machine-side heavy paths (GP kernel matrices, Cholesky factorization,
+/// workload simulation) run on a thread pool sized by the HUMO_NUM_THREADS
+/// environment variable (default: hardware concurrency); results are
+/// bit-identical at any thread count.
 
 #include "actl/active_learning.h"
 #include "common/csv.h"
@@ -29,10 +46,12 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/all_sampling_optimizer.h"
+#include "core/baseline_optimizer.h"
 #include "core/budgeted_resolver.h"
 #include "core/crowd_oracle.h"
-#include "core/baseline_optimizer.h"
+#include "core/estimation_engine.h"
 #include "core/gp_subset_model.h"
 #include "core/hybrid_optimizer.h"
 #include "core/machine_metric.h"
@@ -67,9 +86,9 @@
 #include "stats/sampling.h"
 #include "stats/stratified.h"
 #include "text/attribute_similarity.h"
-#include "text/phonetic.h"
 #include "text/edit_distance.h"
 #include "text/jaro.h"
-#include "text/token_similarity.h"
+#include "text/phonetic.h"
 #include "text/tfidf.h"
+#include "text/token_similarity.h"
 #include "text/tokenizer.h"

@@ -3,25 +3,50 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace humo::linalg {
 namespace {
 
+/// Matrices below this order factor inline; the per-column fork/join would
+/// dominate the arithmetic it distributes.
+constexpr size_t kParallelFactorMinDim = 96;
+/// Rows per task in the below-diagonal column update.
+constexpr size_t kParallelFactorGrain = 32;
+
 /// Attempts a plain Cholesky factorization; returns false on a non-positive
 /// pivot.
+///
+/// Left-looking column order: after the pivot l(j,j) is fixed, every entry
+/// l(i,j) below it depends only on already-final columns 0..j-1, so the
+/// column update is embarrassingly parallel. Each entry is computed with
+/// the exact expression and summation order of the serial elimination
+/// (ascending k), making the factor bit-identical at any thread count —
+/// and to the historical row-major implementation.
 bool TryFactor(const Matrix& a, Matrix* l) {
   const size_t n = a.rows();
   *l = Matrix(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j <= i; ++j) {
-      double sum = a(i, j);
-      for (size_t k = 0; k < j; ++k) sum -= (*l)(i, k) * (*l)(j, k);
-      if (i == j) {
-        if (sum <= 0.0 || !std::isfinite(sum)) return false;
-        (*l)(i, i) = std::sqrt(sum);
-      } else {
-        (*l)(i, j) = sum / (*l)(j, j);
+  const bool parallel = n >= kParallelFactorMinDim;
+  for (size_t j = 0; j < n; ++j) {
+    double pivot = a(j, j);
+    for (size_t k = 0; k < j; ++k) pivot -= (*l)(j, k) * (*l)(j, k);
+    // A non-finite column update surfaces here on a later pivot, exactly as
+    // in the serial elimination.
+    if (pivot <= 0.0 || !std::isfinite(pivot)) return false;
+    const double ljj = std::sqrt(pivot);
+    (*l)(j, j) = ljj;
+    auto update_rows = [&, j, ljj](size_t begin, size_t end) {
+      for (size_t i = j + 1 + begin; i < j + 1 + end; ++i) {
+        double sum = a(i, j);
+        for (size_t k = 0; k < j; ++k) sum -= (*l)(i, k) * (*l)(j, k);
+        (*l)(i, j) = sum / ljj;
       }
+    };
+    if (parallel) {
+      ThreadPool::Global()->ParallelFor(n - j - 1, kParallelFactorGrain,
+                                        update_rows);
+    } else {
+      update_rows(0, n - j - 1);
     }
   }
   return true;
@@ -77,12 +102,18 @@ Vector Cholesky::Solve(const Vector& b) const {
 Matrix Cholesky::Solve(const Matrix& b) const {
   assert(b.rows() == l_.rows());
   Matrix x(b.rows(), b.cols());
-  Vector col(b.rows());
-  for (size_t c = 0; c < b.cols(); ++c) {
-    for (size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
-    Vector sol = Solve(col);
-    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
-  }
+  // Columns are independent solves writing disjoint output columns;
+  // per-column arithmetic is the serial forward/back substitution, so the
+  // result is thread-count invariant.
+  ThreadPool::Global()->ParallelFor(
+      b.cols(), /*grain=*/8, [&](size_t col_begin, size_t col_end) {
+        Vector col(b.rows());
+        for (size_t c = col_begin; c < col_end; ++c) {
+          for (size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+          Vector sol = Solve(col);
+          for (size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+        }
+      });
   return x;
 }
 
