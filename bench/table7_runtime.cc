@@ -44,18 +44,32 @@ void RunBase(benchmark::State& state, const data::Workload& w) {
   }
 }
 
+/// Publishes the engine's GP refit counters (how much re-estimation work the
+/// incremental path absorbed) into the benchmark's JSON/console output.
+void ReportGpCounters(benchmark::State& state, const core::CacheStats& stats) {
+  state.counters["gp_warm_starts"] =
+      static_cast<double>(stats.gp_warm_starts);
+  state.counters["gp_grid_fits"] = static_cast<double>(stats.gp_grid_fits);
+  state.counters["gp_rows_appended"] =
+      static_cast<double>(stats.gp_rows_appended);
+}
+
 void RunSamp(benchmark::State& state, const data::Workload& w) {
   ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
   core::SubsetPartition p(&w, 200);
   const core::QualityRequirement req{0.9, 0.9, 0.9};
   uint64_t seed = 0;
+  core::CacheStats last_stats;
   for (auto _ : state) {
     core::Oracle oracle(&w);
+    core::EstimationContext ctx(&p, &oracle);
     core::PartialSamplingOptions opts;
     opts.seed = ++seed;
-    auto sol = core::PartialSamplingOptimizer(opts).Optimize(p, req, &oracle);
+    auto sol = core::PartialSamplingOptimizer(opts).Optimize(&ctx, req);
     benchmark::DoNotOptimize(sol);
+    last_stats = ctx.stats();
   }
+  ReportGpCounters(state, last_stats);
   ThreadPool::SetGlobalThreads(0);
 }
 
@@ -64,13 +78,17 @@ void RunHybr(benchmark::State& state, const data::Workload& w) {
   core::SubsetPartition p(&w, 200);
   const core::QualityRequirement req{0.9, 0.9, 0.9};
   uint64_t seed = 0;
+  core::CacheStats last_stats;
   for (auto _ : state) {
     core::Oracle oracle(&w);
+    core::EstimationContext ctx(&p, &oracle);
     core::HybridOptions opts;
     opts.sampling.seed = ++seed;
-    auto sol = core::HybridOptimizer(opts).Optimize(p, req, &oracle);
+    auto sol = core::HybridOptimizer(opts).Optimize(&ctx, req);
     benchmark::DoNotOptimize(sol);
+    last_stats = ctx.stats();
   }
+  ReportGpCounters(state, last_stats);
   ThreadPool::SetGlobalThreads(0);
 }
 
@@ -82,6 +100,7 @@ void RunSampThenHybrShared(benchmark::State& state, const data::Workload& w) {
   core::SubsetPartition p(&w, 200);
   const core::QualityRequirement req{0.9, 0.9, 0.9};
   uint64_t seed = 0;
+  core::CacheStats last_stats;
   for (auto _ : state) {
     core::Oracle oracle(&w);
     core::EstimationContext ctx(&p, &oracle);
@@ -93,7 +112,9 @@ void RunSampThenHybrShared(benchmark::State& state, const data::Workload& w) {
     hopts.sampling = opts;
     auto s1 = core::HybridOptimizer(hopts).Optimize(&ctx, req);
     benchmark::DoNotOptimize(s1);
+    last_stats = ctx.stats();
   }
+  ReportGpCounters(state, last_stats);
   ThreadPool::SetGlobalThreads(0);
 }
 

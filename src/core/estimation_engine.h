@@ -30,6 +30,17 @@ struct CacheStats {
   /// Pair inspections avoided: requested through the engine but served from
   /// the subset cache or the oracle's answer memory without a new request.
   size_t oracle_pairs_saved = 0;
+  /// GP re-estimation rounds served by warm-starting the previous winner —
+  /// a rank-k Cholesky append (or outright reuse) instead of re-running the
+  /// full hyperparameter grid.
+  size_t gp_warm_starts = 0;
+  /// GP fits that evaluated the full hyperparameter grid (first fit of a
+  /// run, warm-start rejections, the final scatter refit, and every round
+  /// when HUMO_GP_INCREMENTAL=0).
+  size_t gp_grid_fits = 0;
+  /// Training observations appended to an existing factor across all
+  /// warm-started rounds.
+  size_t gp_rows_appended = 0;
 };
 
 /// Memoized per-subset statistics over one SubsetPartition: exact match
@@ -62,6 +73,41 @@ class SubsetStatsCache {
   std::vector<size_t> full_count_;
   std::vector<char> stratum_known_;
   std::vector<stats::Stratum> strata_;
+};
+
+/// Round-over-round GP re-estimation state threaded through the context.
+///
+/// SAMP's refinement loop alternates "sample one more subset" with "refit
+/// the GP"; re-running the full hyperparameter grid from scratch every
+/// round is O(rounds x grid x n^3). The state below lets the next FitGp
+/// call recognize that the training set only grew — every previously used
+/// (subset, observation, noise) is unchanged — and extend the previous
+/// winner's Cholesky factor by the appended rows (O(n^2 k)) instead,
+/// re-running the grid only when the warm model's per-datum log marginal
+/// likelihood degrades past the optimizer's slack.
+///
+/// Training points are kept in INSERTION order: grid fits store the sorted
+/// subset order they fit on, warm starts append at the end. The GP is
+/// permutation-invariant up to factorization roundoff, so predictions agree
+/// with the sorted-order fit within ~1e-12 (and the HUMO_GP_INCREMENTAL=0/1
+/// end-to-end solutions are identical on every workload we test).
+struct GpFitState {
+  /// Subset indices of the current model's training set, insertion order.
+  std::vector<size_t> order;
+  /// Observations and per-point noise the model was trained on, parallel to
+  /// `order`; compared against the caller's strata to prove that a round
+  /// only APPENDED data (anything else forces a grid re-run).
+  std::vector<double> ys, noise;
+  /// Previous winner; null before the first grid fit.
+  std::shared_ptr<const gp::GpRegression> model;
+  /// Per-datum log marginal likelihood when `model` was last accepted.
+  double lml_per_datum = 0.0;
+  /// Fit configuration `model` was selected under. A later run on the same
+  /// context asking for a different kernel family or noise floor must not
+  /// reuse the model (the warm path keeps hyperparameters), so FitGp
+  /// compares these before warm-starting.
+  gp::KernelFamily kernel_family = gp::KernelFamily::kRbf;
+  double noise_floor = 0.0;
 };
 
 /// Everything the hybrid approach needs from a partial-sampling run: the
@@ -141,6 +187,18 @@ class EstimationContext {
     return sampling_outcome_;
   }
 
+  /// Mutable round-over-round GP refit state consumed by the partial
+  /// sampling optimizer's FitGp (see GpFitState). Kept on the context so
+  /// chained runs over the same strata can warm-start across runs too.
+  GpFitState* gp_fit_state() { return &gp_fit_state_; }
+
+  /// Counter hooks for the GP refit path.
+  void RecordGpWarmStart(size_t rows_appended) {
+    ++stats_.gp_warm_starts;
+    stats_.gp_rows_appended += rows_appended;
+  }
+  void RecordGpGridFit() { ++stats_.gp_grid_fits; }
+
   const SubsetStatsCache& cache() const { return cache_; }
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
@@ -150,6 +208,7 @@ class EstimationContext {
   Oracle* oracle_;
   SubsetStatsCache cache_;
   CacheStats stats_;
+  GpFitState gp_fit_state_;
   std::shared_ptr<const PartialSamplingOutcome> sampling_outcome_;
 };
 

@@ -26,16 +26,15 @@ GpSubsetModel::GpSubsetModel(gp::GpRegression gp,
   assert(variance_inflation_ >= 1.0);
   const size_t m = v_.size();
   mean_.resize(m);
-  w_.resize(m);
   pop_prefix_.assign(m + 1, 0.0);
+  // One batched posterior over every subset replaces m per-point solves:
+  // the same pass yields the posterior means and the whitened cross
+  // vectors the range accumulators need (each bit-identical to the
+  // per-point Predict / WhitenedCross it stands in for).
+  const std::vector<gp::Prediction> preds = gp_.PredictBatch(v_, &w_);
   for (size_t k = 0; k < m; ++k) {
-    if (IsExact(k)) {
-      mean_[k] = obs_[k].proportion;
-    } else {
-      const auto pred = gp_.Predict(v_[k]);
-      mean_[k] = std::clamp(pred.mean, 0.0, 1.0);
-    }
-    w_[k] = gp_.WhitenedCross(v_[k]);
+    mean_[k] = IsExact(k) ? obs_[k].proportion
+                          : std::clamp(preds[k].mean, 0.0, 1.0);
     pop_prefix_[k + 1] = pop_prefix_[k] + n_[k];
   }
 }

@@ -4,8 +4,11 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
+#include <memory>
+#include <optional>
 #include <utility>
 
+#include "common/env.h"
 #include "common/random.h"
 
 namespace humo::core {
@@ -96,6 +99,83 @@ double EstimateScatterVariance(const SubsetPartition& partition,
   return std::clamp(var, 0.0, 0.25);
 }
 
+/// True unless HUMO_GP_INCREMENTAL=0: warm-start GP refits from the
+/// previous round's winner instead of re-running the hyperparameter grid
+/// from scratch. Read per call so tests can flip the flag between runs.
+bool GpIncrementalEnabled() {
+  return GetEnvInt64("HUMO_GP_INCREMENTAL", 1) != 0;
+}
+
+/// Attempts to serve a refit round from the context's round-over-round
+/// state: if the requested training set is the previous one plus appended
+/// observations (nothing removed, nothing re-observed), the previous
+/// winner's factor is extended via a rank-k Cholesky append and kept as
+/// long as its per-datum log marginal likelihood has not degraded past
+/// `options.gp_warm_lml_slack`. Returns nullopt when the round must run
+/// the full grid.
+std::optional<gp::GpRegression> TryWarmStart(
+    EstimationContext* ctx, const SubsetPartition& partition,
+    const std::vector<stats::Stratum>& strata,
+    const std::vector<size_t>& sampled_indices,
+    const PartialSamplingOptions& options) {
+  GpFitState* state = ctx->gp_fit_state();
+  if (state->model == nullptr) return std::nullopt;
+  // The warm path keeps the previous winner's kernel, so a run configured
+  // for a different family or noise floor must re-select on the grid.
+  if (state->kernel_family != options.kernel_family ||
+      state->noise_floor != options.gp_noise_floor)
+    return std::nullopt;
+  if (state->order.size() > sampled_indices.size()) return std::nullopt;
+  // The previous training set must be exactly reusable: every subset it
+  // used still sampled, with bitwise-unchanged observation and noise
+  // (cached strata never change once taken, so a mismatch means the run
+  // changed its noise model — e.g. the scatter refit — or a new context).
+  std::vector<char> in_prev(partition.num_subsets(), 0);
+  for (size_t t = 0; t < state->order.size(); ++t) {
+    const size_t k = state->order[t];
+    if (!std::binary_search(sampled_indices.begin(), sampled_indices.end(), k))
+      return std::nullopt;
+    if (state->ys[t] != strata[k].proportion() ||
+        state->noise[t] != strata[k].proportion_variance())
+      return std::nullopt;
+    in_prev[k] = 1;
+  }
+  std::vector<size_t> fresh;  // ascending — deterministic append order
+  for (size_t k : sampled_indices)
+    if (!in_prev[k]) fresh.push_back(k);
+  if (fresh.empty()) {
+    // Identical training set: the previous winner IS this round's fit.
+    ctx->RecordGpWarmStart(0);
+    return state->model->Clone();
+  }
+  std::vector<double> x_new, y_new, noise_new;
+  for (size_t k : fresh) {
+    x_new.push_back(partition[k].avg_similarity);
+    y_new.push_back(strata[k].proportion());
+    noise_new.push_back(strata[k].proportion_variance());
+  }
+  Result<gp::GpRegression> warm =
+      state->model->ExtendedWith(x_new, y_new, noise_new);
+  if (!warm.ok()) return std::nullopt;  // non-PD append: refactor via grid
+  const double per_datum = warm->LogMarginalLikelihood() /
+                           static_cast<double>(sampled_indices.size());
+  // The acceptance baseline stays anchored at the last GRID selection (it
+  // is deliberately not updated here): comparing against the previous warm
+  // round instead would let per-round degradations just under the slack
+  // compound without bound before any re-selection happened.
+  if (per_datum < state->lml_per_datum - options.gp_warm_lml_slack)
+    return std::nullopt;  // stale hyperparameters: re-select on the grid
+  for (size_t t = 0; t < fresh.size(); ++t) {
+    state->order.push_back(fresh[t]);
+    state->ys.push_back(y_new[t]);
+    state->noise.push_back(noise_new[t]);
+  }
+  gp::GpRegression out = std::move(*warm);
+  state->model = std::make_shared<const gp::GpRegression>(out.Clone());
+  ctx->RecordGpWarmStart(fresh.size());
+  return out;
+}
+
 /// Fits the GP on the sampled subsets, selecting hyperparameters by log
 /// marginal likelihood. Observation noise is the per-subset sampling
 /// variance plus a homoscedastic floor.
@@ -105,10 +185,22 @@ double EstimateScatterVariance(const SubsetPartition& partition,
 /// the pins perfectly yet leave every subset inside a gap at full prior
 /// variance, which collapses the Eq. 13/14 lower bounds to zero and forces
 /// DH toward the whole workload.
+///
+/// Refinement rounds that only APPEND observations are served incrementally
+/// through the context's GpFitState (see TryWarmStart) unless
+/// HUMO_GP_INCREMENTAL=0; the scatter refit always re-runs the grid (its
+/// noise model differs on every diagonal entry, so no factor is reusable).
 Result<gp::GpRegression> FitGp(
-    const SubsetPartition& partition, const std::vector<stats::Stratum>& strata,
+    EstimationContext* ctx, const SubsetPartition& partition,
+    const std::vector<stats::Stratum>& strata,
     const std::vector<size_t>& sampled_indices,
     const PartialSamplingOptions& options, double scatter_variance = 0.0) {
+  const bool incremental = GpIncrementalEnabled() && scatter_variance == 0.0;
+  if (incremental) {
+    std::optional<gp::GpRegression> warm =
+        TryWarmStart(ctx, partition, strata, sampled_indices, options);
+    if (warm.has_value()) return std::move(*warm);
+  }
   std::vector<double> xs, ys, noise;
   xs.reserve(sampled_indices.size());
   for (size_t k : sampled_indices) {
@@ -144,8 +236,22 @@ Result<gp::GpRegression> FitGp(
   gp::GpOptions gp_options;
   gp_options.noise_variance = options.gp_noise_floor;
   gp_options.center_mean = true;
-  return gp::SelectGpByMarginalLikelihood(xs, ys, grid, options.kernel_family,
-                                          gp_options, noise);
+  ctx->RecordGpGridFit();
+  Result<gp::GpRegression> fit = gp::SelectGpByMarginalLikelihood(
+      xs, ys, grid, options.kernel_family, gp_options, noise);
+  if (incremental && fit.ok()) {
+    // This grid winner becomes the warm-start baseline for later rounds.
+    GpFitState* state = ctx->gp_fit_state();
+    state->order = sampled_indices;
+    state->ys = std::move(ys);
+    state->noise = std::move(noise);
+    state->model = std::make_shared<const gp::GpRegression>(fit->Clone());
+    state->lml_per_datum = fit->LogMarginalLikelihood() /
+                           static_cast<double>(sampled_indices.size());
+    state->kernel_family = options.kernel_family;
+    state->noise_floor = options.gp_noise_floor;
+  }
+  return fit;
 }
 
 }  // namespace
@@ -249,7 +355,7 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
   }
 
   HUMO_ASSIGN_OR_RETURN(gp::GpRegression gp,
-                        FitGp(partition, strata, train, options_));
+                        FitGp(ctx, partition, strata, train, options_));
 
   // Bracket refinement, processed in order of the GP's uncertainty about
   // the bracket's midpoint (pairs-weighted posterior std). Algorithm 1 as
@@ -263,18 +369,30 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
     brackets.emplace_back(train[t], train[t + 1]);
 
   while (!brackets.empty() && train.size() < budget) {
-    double best_score = -1.0;
-    size_t best_idx = brackets.size();
+    // Score every refinable bracket's midpoint in one batched prediction
+    // (one Gram build + one blocked solve) instead of a per-midpoint solve;
+    // the selection loop below sees bit-identical scores in the same order.
+    std::vector<size_t> refinable;
+    std::vector<double> mid_sims;
     for (size_t bi = 0; bi < brackets.size(); ++bi) {
       const auto [ia, ib] = brackets[bi];
       if (ib - ia < 2) continue;
+      refinable.push_back(bi);
+      mid_sims.push_back(partition[ia + (ib - ia) / 2].avg_similarity);
+    }
+    const std::vector<gp::Prediction> preds = gp.PredictBatch(mid_sims);
+    double best_score = -1.0;
+    size_t best_idx = brackets.size();
+    size_t best_t = refinable.size();
+    for (size_t t = 0; t < refinable.size(); ++t) {
+      const auto [ia, ib] = brackets[refinable[t]];
       const size_t x = ia + (ib - ia) / 2;
-      const auto pred = gp.Predict(partition[x].avg_similarity);
       const double score =
-          static_cast<double>(partition[x].size()) * pred.stddev();
+          static_cast<double>(partition[x].size()) * preds[t].stddev();
       if (score > best_score) {
         best_score = score;
-        best_idx = bi;
+        best_idx = refinable[t];
+        best_t = t;
       }
     }
     if (best_idx >= brackets.size()) break;  // nothing refinable remains
@@ -282,14 +400,16 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
     brackets.erase(brackets.begin() + static_cast<long>(best_idx));
     const size_t x = ia + (ib - ia) / 2;
     if (sampled[x]) continue;
-    const double predicted = gp.Predict(partition[x].avg_similarity).mean;
+    // The winning midpoint's posterior mean was already computed by the
+    // batched prediction above (bit-identical to a fresh Predict).
+    const double predicted = preds[best_t].mean;
     take_subset(x);
     const double observed = strata[x].proportion();
     if (std::fabs(predicted - observed) >= options_.error_threshold) {
       brackets.emplace_back(ia, x);
       brackets.emplace_back(x, ib);
     }
-    HUMO_ASSIGN_OR_RETURN(gp, FitGp(partition, strata, train, options_));
+    HUMO_ASSIGN_OR_RETURN(gp, FitGp(ctx, partition, strata, train, options_));
   }
 
   // ---- Phase 1b: variance-targeted refinement (implementation extension;
@@ -299,13 +419,22 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
   // aggregation. Spend any remaining sampling budget on the unsampled
   // subset with the largest bound contribution n_k * std(k).
   while (train.size() < budget) {
-    double best_score = 0.0;
-    size_t best_k = m;
+    // One batched posterior over all unsampled subsets per round (the m - j
+    // per-point solves used to dominate this phase).
+    std::vector<size_t> unsampled;
+    std::vector<double> unsampled_sims;
     for (size_t k = 0; k < m; ++k) {
       if (sampled[k]) continue;
-      const auto pred = gp.Predict(partition[k].avg_similarity);
+      unsampled.push_back(k);
+      unsampled_sims.push_back(partition[k].avg_similarity);
+    }
+    const std::vector<gp::Prediction> preds = gp.PredictBatch(unsampled_sims);
+    double best_score = 0.0;
+    size_t best_k = m;
+    for (size_t t = 0; t < unsampled.size(); ++t) {
+      const size_t k = unsampled[t];
       const double score =
-          static_cast<double>(partition[k].size()) * pred.stddev();
+          static_cast<double>(partition[k].size()) * preds[t].stddev();
       if (score > best_score) {
         best_score = score;
         best_k = k;
@@ -319,7 +448,7 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
     sampled[best_k] = true;
     train.insert(std::upper_bound(train.begin(), train.end(), best_k),
                  best_k);
-    HUMO_ASSIGN_OR_RETURN(gp, FitGp(partition, strata, train, options_));
+    HUMO_ASSIGN_OR_RETURN(gp, FitGp(ctx, partition, strata, train, options_));
   }
 
   // ---- Build the subset-level model. ----
@@ -329,7 +458,7 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
     // not chase per-subset irregularity (the scatter re-enters the bound
     // computation as independent per-subset variance instead).
     HUMO_ASSIGN_OR_RETURN(
-        gp, FitGp(partition, strata, train, options_, scatter));
+        gp, FitGp(ctx, partition, strata, train, options_, scatter));
   }
   std::vector<double> vs(m), ns(m);
   std::vector<SubsetObservation> obs(m);
@@ -343,12 +472,21 @@ Result<PartialSamplingOutcome> PartialSamplingOptimizer::OptimizeDetailed(
   }
   // Per-subset scatter: workload irregularity plus the binomial variance of
   // the subset's realized count around the latent rate (smoothed so rate ~0
-  // still carries width).
+  // still carries width). Latent rates for all non-exact subsets come from
+  // one batched prediction.
   std::vector<double> scatter_vec(m, 0.0);
+  std::vector<size_t> inexact;
+  std::vector<double> inexact_sims;
   for (size_t k = 0; k < m; ++k) {
     if (obs[k].exact) continue;
+    inexact.push_back(k);
+    inexact_sims.push_back(vs[k]);
+  }
+  const std::vector<gp::Prediction> rate_preds = gp.PredictBatch(inexact_sims);
+  for (size_t t = 0; t < inexact.size(); ++t) {
+    const size_t k = inexact[t];
     const double nk = ns[k];
-    const double raw = std::clamp(gp.Predict(vs[k]).mean, 0.0, 1.0);
+    const double raw = std::clamp(rate_preds[t].mean, 0.0, 1.0);
     const double p = std::max(raw, 0.5 / nk);
     scatter_vec[k] = scatter + p * (1.0 - p) / nk;
   }

@@ -45,6 +45,19 @@ struct PartialSamplingOptions {
   /// hair under the target (observed misses of ~0.001-0.002); the margin
   /// absorbs that discretization error at negligible cost.
   double quality_margin = 0.015;
+  /// Warm-start acceptance slack for incremental GP refits, in nats per
+  /// training point. When a refinement round only appends observations, the
+  /// previous winner's Cholesky factor is extended (Cholesky::Append,
+  /// O(n^2 k)) and its hyperparameters kept; the full grid is re-run when
+  /// the warm model's per-datum log marginal likelihood drops more than
+  /// this below the value of the last GRID selection (the baseline is
+  /// anchored there — it does not ratchet down with accepted warm rounds)
+  /// — i.e. when the new pins disagree with the stale kernel. Smaller
+  /// values re-select more eagerly; 0 re-runs the grid on any strict
+  /// degradation, though warm rounds whose LML holds or improves are still
+  /// served incrementally. To force the legacy full-grid refit every round,
+  /// set HUMO_GP_INCREMENTAL=0 (common/env).
+  double gp_warm_lml_slack = 0.25;
   /// Homoscedastic noise floor added on top of the per-subset sampling
   /// variance. Kept tiny by default: fully-enumerated sampled subsets have
   /// zero sampling variance, and an artificial floor of variance f inflates

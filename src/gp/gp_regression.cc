@@ -35,11 +35,26 @@ double JointPrediction::WeightedTotalStdDev(
   return std::sqrt(std::max(0.0, acc));
 }
 
+void GpRegression::FinishFit() {
+  y_mean_ = 0.0;
+  if (options_.center_mean) {
+    for (double v : y_) y_mean_ += v;
+    y_mean_ /= static_cast<double>(y_.size());
+  }
+  y_centered_.resize(y_.size());
+  for (size_t i = 0; i < y_.size(); ++i) y_centered_[i] = y_[i] - y_mean_;
+  alpha_ = chol_.Solve(y_centered_);
+  const double n = static_cast<double>(x_.size());
+  log_marginal_ = -0.5 * linalg::Dot(y_centered_, alpha_) -
+                  0.5 * chol_.LogDeterminant() - 0.5 * n * kLog2Pi;
+}
+
 Result<GpRegression> GpRegression::Fit(std::unique_ptr<Kernel> kernel,
                                        std::vector<double> x,
                                        std::vector<double> y,
                                        GpOptions options,
-                                       std::vector<double> noise_variances) {
+                                       std::vector<double> noise_variances,
+                                       const linalg::Matrix* pairwise_distances) {
   if (!kernel) return Status::InvalidArgument("kernel must not be null");
   if (x.size() != y.size())
     return Status::InvalidArgument(
@@ -47,37 +62,87 @@ Result<GpRegression> GpRegression::Fit(std::unique_ptr<Kernel> kernel,
   if (x.empty()) return Status::InvalidArgument("empty training set");
   if (!noise_variances.empty() && noise_variances.size() != x.size())
     return Status::InvalidArgument("noise_variances must parallel x");
+  if (pairwise_distances != nullptr &&
+      (pairwise_distances->rows() != x.size() ||
+       pairwise_distances->cols() != x.size()))
+    return Status::InvalidArgument("pairwise_distances must be n x n");
 
   GpRegression gp;
   gp.kernel_ = std::move(kernel);
+  gp.options_ = options;
   gp.x_ = std::move(x);
+  gp.y_ = std::move(y);
 
-  gp.y_mean_ = 0.0;
-  if (options.center_mean) {
-    for (double v : y) gp.y_mean_ += v;
-    gp.y_mean_ /= static_cast<double>(y.size());
-  }
-  gp.y_centered_.resize(y.size());
-  for (size_t i = 0; i < y.size(); ++i) gp.y_centered_[i] = y[i] - gp.y_mean_;
-
-  linalg::Matrix k = gp.kernel_->GramSymmetric(gp.x_);
+  linalg::Matrix k = pairwise_distances != nullptr
+                         ? gp.kernel_->GramFromDistances(*pairwise_distances)
+                         : gp.kernel_->GramSymmetric(gp.x_);
   k.AddToDiagonal(options.noise_variance);
   for (size_t i = 0; i < noise_variances.size(); ++i)
     k(i, i) += noise_variances[i];
 
   HUMO_ASSIGN_OR_RETURN(gp.chol_, linalg::Cholesky::Factor(k));
-  gp.alpha_ = gp.chol_.Solve(gp.y_centered_);
+  gp.FinishFit();
+  return gp;
+}
 
-  const double n = static_cast<double>(gp.x_.size());
-  gp.log_marginal_ = -0.5 * linalg::Dot(gp.y_centered_, gp.alpha_) -
-                     0.5 * gp.chol_.LogDeterminant() - 0.5 * n * kLog2Pi;
+GpRegression GpRegression::Clone() const {
+  GpRegression gp;
+  gp.kernel_ = kernel_->Clone();
+  gp.options_ = options_;
+  gp.x_ = x_;
+  gp.y_ = y_;
+  gp.y_centered_ = y_centered_;
+  gp.y_mean_ = y_mean_;
+  gp.chol_ = chol_;
+  gp.alpha_ = alpha_;
+  gp.log_marginal_ = log_marginal_;
+  return gp;
+}
+
+Result<GpRegression> GpRegression::ExtendedWith(
+    const std::vector<double>& x_new, const std::vector<double>& y_new,
+    const std::vector<double>& noise_variances_new) const {
+  if (x_new.size() != y_new.size())
+    return Status::InvalidArgument(
+        StrFormat("x/y size mismatch: %zu vs %zu", x_new.size(), y_new.size()));
+  if (!noise_variances_new.empty() &&
+      noise_variances_new.size() != x_new.size())
+    return Status::InvalidArgument("noise_variances_new must parallel x_new");
+  if (x_new.empty()) return Clone();
+
+  const size_t n = x_.size();
+  const size_t k = x_new.size();
+  // New rows of the bordered Gram matrix: cross-covariances against the
+  // existing training set, then the new block's lower triangle, with the
+  // same two diagonal additions Fit applies (noise floor, then per-point
+  // noise) so the extended matrix matches a from-scratch build bit-for-bit.
+  linalg::Matrix rows(k, n + k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t t = 0; t < n; ++t) rows(i, t) = (*kernel_)(x_new[i], x_[t]);
+    for (size_t j = 0; j <= i; ++j)
+      rows(i, n + j) = (*kernel_)(x_new[i], x_new[j]);
+    rows(i, n + i) += options_.noise_variance;
+    if (!noise_variances_new.empty()) rows(i, n + i) += noise_variances_new[i];
+  }
+
+  GpRegression gp;
+  gp.kernel_ = kernel_->Clone();
+  gp.options_ = options_;
+  gp.x_ = x_;
+  gp.x_.insert(gp.x_.end(), x_new.begin(), x_new.end());
+  gp.y_ = y_;
+  gp.y_.insert(gp.y_.end(), y_new.begin(), y_new.end());
+  // Extended (not copy + Append): the frozen factor block is copied once,
+  // directly into the extended matrix.
+  HUMO_ASSIGN_OR_RETURN(gp.chol_, chol_.Extended(rows));
+  gp.FinishFit();
   return gp;
 }
 
 Prediction GpRegression::Predict(double x_star) const {
   const size_t n = x_.size();
   linalg::Vector k_star(n);
-  for (size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x_star, x_[i]);
+  kernel_->FillRow(x_star, x_.data(), n, k_star.data());
   Prediction p;
   p.mean = y_mean_ + linalg::Dot(k_star, alpha_);
   const linalg::Vector v = chol_.SolveLower(k_star);
@@ -86,36 +151,66 @@ Prediction GpRegression::Predict(double x_star) const {
   return p;
 }
 
+std::vector<Prediction> GpRegression::PredictBatch(
+    const std::vector<double>& x_star,
+    std::vector<linalg::Vector>* whitened) const {
+  const size_t n = x_.size();
+  const size_t q = x_star.size();
+  // K(V*, V) as q x n rows: row j is Predict's k_star for query j (the
+  // cross-covariance is symmetric in its arguments, so building it
+  // query-major is the same values in a solve-friendly layout).
+  linalg::Matrix k_cross(q, n);
+  ThreadPool::Global()->ParallelFor(
+      q, /*grain=*/16, [&](size_t begin, size_t end) {
+        for (size_t j = begin; j < end; ++j)
+          kernel_->FillRow(x_star[j], x_.data(), n, k_cross.RowPtr(j));
+      });
+  // One blocked multi-RHS forward substitution replaces q per-point solves.
+  const linalg::Matrix w = chol_.SolveLowerRows(k_cross);
+  std::vector<Prediction> preds(q);
+  ThreadPool::Global()->ParallelFor(
+      q, /*grain=*/16, [&](size_t begin, size_t end) {
+        for (size_t j = begin; j < end; ++j) {
+          Prediction p;
+          p.mean = y_mean_ + linalg::DotRange(k_cross.RowPtr(j),
+                                              alpha_.data(), n);
+          p.variance = (*kernel_)(x_star[j], x_star[j]) -
+                       linalg::DotRange(w.RowPtr(j), w.RowPtr(j), n);
+          if (p.variance < 0.0) p.variance = 0.0;
+          preds[j] = p;
+        }
+      });
+  if (whitened != nullptr) {
+    whitened->assign(q, linalg::Vector());
+    for (size_t j = 0; j < q; ++j) {
+      const double* row = w.RowPtr(j);
+      (*whitened)[j].assign(row, row + n);
+    }
+  }
+  return preds;
+}
+
 JointPrediction GpRegression::PredictJoint(
     const std::vector<double>& x_star) const {
   const size_t n = x_.size();
   const size_t q = x_star.size();
   JointPrediction jp;
   jp.mean.resize(q);
-  // K(V, V*) — n x q.
-  linalg::Matrix k_cross = kernel_->Gram(x_, x_star);
+  // K(V*, V) — q x n, one row per query (see PredictBatch).
+  linalg::Matrix k_cross(q, n);
+  for (size_t j = 0; j < q; ++j)
+    kernel_->FillRow(x_star[j], x_.data(), n, k_cross.RowPtr(j));
   // Means: y_mean + K(V*,V) alpha.
-  for (size_t j = 0; j < q; ++j) {
-    double acc = 0.0;
-    for (size_t i = 0; i < n; ++i) acc += k_cross(i, j) * alpha_[i];
-    jp.mean[j] = y_mean_ + acc;
-  }
+  for (size_t j = 0; j < q; ++j)
+    jp.mean[j] = y_mean_ + linalg::DotRange(k_cross.RowPtr(j), alpha_.data(), n);
   // Posterior covariance: K(V*,V*) - K(V*,V) K^-1 K(V,V*)
-  //                     = K(V*,V*) - W^T W with W = L^-1 K(V,V*).
-  linalg::Matrix w(n, q);
-  {
-    linalg::Vector col(n);
-    for (size_t j = 0; j < q; ++j) {
-      for (size_t i = 0; i < n; ++i) col[i] = k_cross(i, j);
-      linalg::Vector sol = chol_.SolveLower(col);
-      for (size_t i = 0; i < n; ++i) w(i, j) = sol[i];
-    }
-  }
+  //                     = K(V*,V*) - W W^T with row j of W = L^-1 k(V, x*_j),
+  // all rows obtained in one blocked multi-RHS substitution.
+  const linalg::Matrix w = chol_.SolveLowerRows(k_cross);
   jp.covariance = kernel_->GramSymmetric(x_star);
   for (size_t a = 0; a < q; ++a) {
     for (size_t b = 0; b <= a; ++b) {
-      double acc = 0.0;
-      for (size_t i = 0; i < n; ++i) acc += w(i, a) * w(i, b);
+      const double acc = linalg::DotRange(w.RowPtr(a), w.RowPtr(b), n);
       jp.covariance(a, b) -= acc;
       if (a != b) jp.covariance(b, a) = jp.covariance(a, b);
     }
@@ -131,7 +226,7 @@ double GpRegression::LogMarginalLikelihood() const { return log_marginal_; }
 linalg::Vector GpRegression::WhitenedCross(double x_star) const {
   const size_t n = x_.size();
   linalg::Vector k_star(n);
-  for (size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x_star, x_[i]);
+  kernel_->FillRow(x_star, x_.data(), n, k_star.data());
   return chol_.SolveLower(k_star);
 }
 
@@ -140,6 +235,10 @@ Result<GpRegression> SelectGpByMarginalLikelihood(
     const std::vector<GpCandidate>& grid, KernelFamily family,
     GpOptions options, std::vector<double> noise_variances) {
   if (grid.empty()) return Status::InvalidArgument("empty candidate grid");
+  // The pairwise distances are the kernel-independent part of every
+  // candidate's Gram matrix; build them once for the whole grid instead of
+  // re-deriving all n^2 of them inside each fit.
+  const linalg::Matrix distances = PairwiseDistances(x);
   // Candidate fits are independent (each builds its own Gram matrix and
   // Cholesky factor), so the grid is the natural unit of parallelism — one
   // fit per task, kernel construction inside each fit running inline. The
@@ -166,8 +265,8 @@ Result<GpRegression> SelectGpByMarginalLikelihood(
                                                    cand.length_scale);
               break;
           }
-          fits[c].emplace(
-              GpRegression::Fit(std::move(k), x, y, options, noise_variances));
+          fits[c].emplace(GpRegression::Fit(std::move(k), x, y, options,
+                                            noise_variances, &distances));
         }
       });
   double best_lml = -std::numeric_limits<double>::infinity();

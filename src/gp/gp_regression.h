@@ -53,14 +53,45 @@ class GpRegression {
  public:
   /// Fits the GP. `noise_variances`, when non-empty, must parallel `x` and
   /// adds heteroscedastic per-observation noise (sampling variance of each
-  /// observed proportion) to the training diagonal.
-  static Result<GpRegression> Fit(std::unique_ptr<Kernel> kernel,
-                                  std::vector<double> x, std::vector<double> y,
-                                  GpOptions options = {},
-                                  std::vector<double> noise_variances = {});
+  /// observed proportion) to the training diagonal. `pairwise_distances`,
+  /// when non-null, must be PairwiseDistances(x) and lets the fit skip
+  /// rebuilding the distance part of the Gram matrix — the hyperparameter
+  /// grid selector passes one distance matrix to every candidate fit.
+  static Result<GpRegression> Fit(
+      std::unique_ptr<Kernel> kernel, std::vector<double> x,
+      std::vector<double> y, GpOptions options = {},
+      std::vector<double> noise_variances = {},
+      const linalg::Matrix* pairwise_distances = nullptr);
+
+  /// Deep copy (the kernel is cloned); fitted state is value-like.
+  GpRegression Clone() const;
+
+  /// Returns a model refitted on this model's training set extended by
+  /// (x_new, y_new, noise_variances_new), reusing the existing Cholesky
+  /// factor through a rank-k append (O(n^2 k) instead of the O(n^3)
+  /// from-scratch refactor; kernel hyperparameters are kept). The appended
+  /// rows use the factor's original jitter, so the result is bit-identical
+  /// to Fit on the concatenated training set whenever that fit lands on
+  /// the same jitter (and within factorization roundoff otherwise). When
+  /// the append hits a non-positive pivot an error is returned and the
+  /// caller must fall back to a full Fit.
+  Result<GpRegression> ExtendedWith(
+      const std::vector<double>& x_new, const std::vector<double>& y_new,
+      const std::vector<double>& noise_variances_new = {}) const;
 
   /// Posterior mean/variance at one query point.
   Prediction Predict(double x_star) const;
+
+  /// Posterior means/variances at many query points: one K(V*, V) build
+  /// plus one blocked multi-right-hand-side triangular solve for the whole
+  /// batch (Cholesky::SolveLowerRows) instead of a per-point solve each.
+  /// Entry i is bit-identical to Predict(x_star[i]) at any thread count.
+  /// When `whitened` is non-null it receives the whitened cross vectors
+  /// L^-1 k(V, x*_i) the solve produces (what WhitenedCross returns per
+  /// point) — GpSubsetModel consumes both in one pass.
+  std::vector<Prediction> PredictBatch(
+      const std::vector<double>& x_star,
+      std::vector<linalg::Vector>* whitened = nullptr) const;
 
   /// Joint posterior over many query points.
   JointPrediction PredictJoint(const std::vector<double>& x_star) const;
@@ -82,8 +113,14 @@ class GpRegression {
  private:
   GpRegression() = default;
 
+  /// Recomputes mean/centering, alpha, and the log marginal likelihood from
+  /// x_/y_/chol_ — the shared tail of Fit and ExtendedWith.
+  void FinishFit();
+
   std::unique_ptr<Kernel> kernel_;
+  GpOptions options_;
   std::vector<double> x_;
+  std::vector<double> y_;  // original observations (ExtendedWith re-centers)
   std::vector<double> y_centered_;
   double y_mean_ = 0.0;
   linalg::Cholesky chol_;
@@ -102,7 +139,9 @@ enum class KernelFamily { kRbf, kMatern32, kMatern52 };
 
 /// Fits one GP per candidate on a small grid and returns the one with the
 /// highest log marginal likelihood (simple, derivative-free model selection;
-/// adequate for 1-D inputs).
+/// adequate for 1-D inputs). The pairwise-distance matrix of `x` is computed
+/// ONCE and shared by every candidate fit (all kernel families are
+/// stationary), so the per-candidate cost is the factorization alone.
 Result<GpRegression> SelectGpByMarginalLikelihood(
     const std::vector<double>& x, const std::vector<double>& y,
     const std::vector<GpCandidate>& grid, KernelFamily family,

@@ -15,6 +15,11 @@ constexpr size_t kParallelRowGrain = 64;
 
 }  // namespace
 
+void Kernel::FillRow(double x_star, const double* xs, size_t n,
+                     double* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = (*this)(x_star, xs[i]);
+}
+
 linalg::Matrix Kernel::Gram(const std::vector<double>& xs,
                             const std::vector<double>& ys) const {
   linalg::Matrix k(xs.size(), ys.size());
@@ -23,8 +28,7 @@ linalg::Matrix Kernel::Gram(const std::vector<double>& xs,
   ThreadPool::Global()->ParallelFor(
       xs.size(), kParallelRowGrain, [&](size_t row_begin, size_t row_end) {
         for (size_t i = row_begin; i < row_end; ++i)
-          for (size_t j = 0; j < ys.size(); ++j)
-            k(i, j) = (*this)(xs[i], ys[j]);
+          FillRow(xs[i], ys.data(), ys.size(), k.RowPtr(i));
       });
   return k;
 }
@@ -49,14 +53,60 @@ linalg::Matrix Kernel::GramSymmetric(const std::vector<double>& xs) const {
   return k;
 }
 
+linalg::Matrix Kernel::GramFromDistances(const linalg::Matrix& distances) const {
+  assert(distances.rows() == distances.cols());
+  const size_t n = distances.rows();
+  linalg::Matrix k(n, n);
+  // Same ownership scheme as GramSymmetric; the entries are
+  // EvalDistance(|x_i - x_j|) either way, so the two builds agree
+  // bit-for-bit — this one just skips recomputing the n^2 distances.
+  ThreadPool::Global()->ParallelFor(
+      n, kParallelRowGrain, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          for (size_t j = 0; j <= i; ++j) {
+            const double v = EvalDistance(distances(i, j));
+            k(i, j) = v;
+            k(j, i) = v;
+          }
+        }
+      });
+  return k;
+}
+
+linalg::Matrix PairwiseDistances(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  linalg::Matrix d(n, n);
+  ThreadPool::Global()->ParallelFor(
+      n, kParallelRowGrain, [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          for (size_t j = 0; j <= i; ++j) {
+            const double r = xs[i] >= xs[j] ? xs[i] - xs[j] : xs[j] - xs[i];
+            d(i, j) = r;
+            d(j, i) = r;
+          }
+        }
+      });
+  return d;
+}
+
 RbfKernel::RbfKernel(double signal_variance, double length_scale)
     : sf2_(signal_variance), l_(length_scale) {
   assert(sf2_ > 0.0 && l_ > 0.0);
 }
 
-double RbfKernel::operator()(double x, double y) const {
-  const double d = (x - y) / l_;
+double RbfKernel::EvalDistance(double r) const {
+  const double d = r / l_;
   return sf2_ * std::exp(-0.5 * d * d);
+}
+
+void RbfKernel::FillRow(double x_star, const double* xs, size_t n,
+                        double* out) const {
+  // Statically-bound form of the base-class loop: same |x - y| and the same
+  // EvalDistance expression per entry, minus the per-entry virtual dispatch.
+  for (size_t i = 0; i < n; ++i) {
+    const double r = x_star >= xs[i] ? x_star - xs[i] : xs[i] - x_star;
+    out[i] = RbfKernel::EvalDistance(r);
+  }
 }
 
 std::string RbfKernel::ToString() const {
@@ -72,10 +122,18 @@ Matern32Kernel::Matern32Kernel(double signal_variance, double length_scale)
   assert(sf2_ > 0.0 && l_ > 0.0);
 }
 
-double Matern32Kernel::operator()(double x, double y) const {
-  const double r = std::fabs(x - y) / l_;
+double Matern32Kernel::EvalDistance(double dist) const {
+  const double r = dist / l_;
   const double a = std::sqrt(3.0) * r;
   return sf2_ * (1.0 + a) * std::exp(-a);
+}
+
+void Matern32Kernel::FillRow(double x_star, const double* xs, size_t n,
+                             double* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const double r = x_star >= xs[i] ? x_star - xs[i] : xs[i] - x_star;
+    out[i] = Matern32Kernel::EvalDistance(r);
+  }
 }
 
 std::string Matern32Kernel::ToString() const {
@@ -91,10 +149,18 @@ Matern52Kernel::Matern52Kernel(double signal_variance, double length_scale)
   assert(sf2_ > 0.0 && l_ > 0.0);
 }
 
-double Matern52Kernel::operator()(double x, double y) const {
-  const double r = std::fabs(x - y) / l_;
+double Matern52Kernel::EvalDistance(double dist) const {
+  const double r = dist / l_;
   const double a = std::sqrt(5.0) * r;
   return sf2_ * (1.0 + a + 5.0 * r * r / 3.0) * std::exp(-a);
+}
+
+void Matern52Kernel::FillRow(double x_star, const double* xs, size_t n,
+                             double* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const double r = x_star >= xs[i] ? x_star - xs[i] : xs[i] - x_star;
+    out[i] = Matern52Kernel::EvalDistance(r);
+  }
 }
 
 std::string Matern52Kernel::ToString() const {
@@ -107,7 +173,7 @@ std::unique_ptr<Kernel> Matern52Kernel::Clone() const {
 
 ConstantKernel::ConstantKernel(double c) : c_(c) { assert(c_ >= 0.0); }
 
-double ConstantKernel::operator()(double, double) const { return c_; }
+double ConstantKernel::EvalDistance(double) const { return c_; }
 
 std::string ConstantKernel::ToString() const {
   return StrFormat("Const(%.4g)", c_);
@@ -122,8 +188,8 @@ SumKernel::SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b)
   assert(a_ && b_);
 }
 
-double SumKernel::operator()(double x, double y) const {
-  return (*a_)(x, y) + (*b_)(x, y);
+double SumKernel::EvalDistance(double r) const {
+  return a_->EvalDistance(r) + b_->EvalDistance(r);
 }
 
 std::string SumKernel::ToString() const {

@@ -9,17 +9,39 @@
 namespace humo::gp {
 
 /// Covariance function over scalar inputs (similarity values in [0,1]).
+///
+/// Every kernel in this library is stationary in one dimension — its value
+/// depends on x and y only through the distance |x - y| — so the interface
+/// is EvalDistance(|x - y|). That is what lets the hyperparameter grid
+/// share one pairwise-distance matrix across every candidate
+/// (GramFromDistances): the n^2 distance computations are paid once per
+/// training set instead of once per candidate.
 class Kernel {
  public:
   virtual ~Kernel() = default;
 
-  /// k(x, y).
-  virtual double operator()(double x, double y) const = 0;
+  /// k at distance r = |x - y|; r is non-negative.
+  virtual double EvalDistance(double r) const = 0;
+
+  /// k(x, y). Non-virtual: |x - y| is exact in floating point, so routing
+  /// through EvalDistance is bit-identical to the historical direct forms.
+  double operator()(double x, double y) const {
+    return EvalDistance(x >= y ? x - y : y - x);
+  }
 
   /// Human-readable description, e.g. "RBF(sf2=1, l=0.1)".
   virtual std::string ToString() const = 0;
 
   virtual std::unique_ptr<Kernel> Clone() const = 0;
+
+  /// Fills out[i] = k(x_star, xs[i]) for i in [0, n) — the row every Gram
+  /// build and prediction needs. The base implementation dispatches
+  /// per-entry; the stationary kernels override it with the identical
+  /// expressions statically bound (one virtual call per ROW instead of per
+  /// entry), so values are the same either way and only the dispatch cost
+  /// changes.
+  virtual void FillRow(double x_star, const double* xs, size_t n,
+                       double* out) const;
 
   /// Gram matrix K(xs, ys).
   linalg::Matrix Gram(const std::vector<double>& xs,
@@ -27,13 +49,26 @@ class Kernel {
 
   /// Symmetric Gram matrix K(xs, xs); exploits symmetry.
   linalg::Matrix GramSymmetric(const std::vector<double>& xs) const;
+
+  /// Symmetric Gram matrix from a precomputed pairwise-distance matrix
+  /// (PairwiseDistances below): entry (i, j) = EvalDistance(d(i, j)).
+  /// Bit-identical to GramSymmetric on the xs the distances were built
+  /// from; the point is that the distances are built once per training set
+  /// and reused by every candidate of a hyperparameter grid.
+  linalg::Matrix GramFromDistances(const linalg::Matrix& distances) const;
 };
+
+/// Symmetric matrix of pairwise distances |xs[i] - xs[j]| — the
+/// kernel-independent part of every stationary Gram matrix.
+linalg::Matrix PairwiseDistances(const std::vector<double>& xs);
 
 /// Squared-exponential (RBF): sf2 * exp(-(x-y)^2 / (2 l^2)).
 class RbfKernel : public Kernel {
  public:
   RbfKernel(double signal_variance, double length_scale);
-  double operator()(double x, double y) const override;
+  double EvalDistance(double r) const override;
+  void FillRow(double x_star, const double* xs, size_t n,
+               double* out) const override;
   std::string ToString() const override;
   std::unique_ptr<Kernel> Clone() const override;
   double signal_variance() const { return sf2_; }
@@ -47,7 +82,9 @@ class RbfKernel : public Kernel {
 class Matern32Kernel : public Kernel {
  public:
   Matern32Kernel(double signal_variance, double length_scale);
-  double operator()(double x, double y) const override;
+  double EvalDistance(double r) const override;
+  void FillRow(double x_star, const double* xs, size_t n,
+               double* out) const override;
   std::string ToString() const override;
   std::unique_ptr<Kernel> Clone() const override;
 
@@ -59,7 +96,9 @@ class Matern32Kernel : public Kernel {
 class Matern52Kernel : public Kernel {
  public:
   Matern52Kernel(double signal_variance, double length_scale);
-  double operator()(double x, double y) const override;
+  double EvalDistance(double r) const override;
+  void FillRow(double x_star, const double* xs, size_t n,
+               double* out) const override;
   std::string ToString() const override;
   std::unique_ptr<Kernel> Clone() const override;
 
@@ -71,7 +110,7 @@ class Matern52Kernel : public Kernel {
 class ConstantKernel : public Kernel {
  public:
   explicit ConstantKernel(double c);
-  double operator()(double x, double y) const override;
+  double EvalDistance(double r) const override;
   std::string ToString() const override;
   std::unique_ptr<Kernel> Clone() const override;
 
@@ -83,7 +122,7 @@ class ConstantKernel : public Kernel {
 class SumKernel : public Kernel {
  public:
   SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b);
-  double operator()(double x, double y) const override;
+  double EvalDistance(double r) const override;
   std::string ToString() const override;
   std::unique_ptr<Kernel> Clone() const override;
 

@@ -1,6 +1,9 @@
 #include "linalg/cholesky.h"
 
 #include <cmath>
+#include <memory>
+#include <type_traits>
+#include <vector>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -28,19 +31,32 @@ bool TryFactor(const Matrix& a, Matrix* l) {
   *l = Matrix(n, n);
   const bool parallel = n >= kParallelFactorMinDim;
   for (size_t j = 0; j < n; ++j) {
-    double pivot = a(j, j);
-    for (size_t k = 0; k < j; ++k) pivot -= (*l)(j, k) * (*l)(j, k);
     // A non-finite column update surfaces here on a later pivot, exactly as
     // in the serial elimination.
+    const double pivot = SubDotRange(a(j, j), l->RowPtr(j), l->RowPtr(j), j);
     if (pivot <= 0.0 || !std::isfinite(pivot)) return false;
     const double ljj = std::sqrt(pivot);
     (*l)(j, j) = ljj;
-    auto update_rows = [&, j, ljj](size_t begin, size_t end) {
-      for (size_t i = j + 1 + begin; i < j + 1 + end; ++i) {
-        double sum = a(i, j);
-        for (size_t k = 0; k < j; ++k) sum -= (*l)(i, k) * (*l)(j, k);
-        (*l)(i, j) = sum / ljj;
+    const double* lj = l->RowPtr(j);
+    auto update_rows = [l, &a, j, ljj, lj](size_t begin, size_t end) {
+      // Below-diagonal rows in blocks of four: each row's running
+      // subtraction is the serial elimination's exact chain, and the four
+      // independent chains share the streamed pivot row lj (SubDotRange4).
+      size_t i = j + 1 + begin;
+      const size_t stop = j + 1 + end;
+      for (; i + 4 <= stop; i += 4) {
+        const double start[4] = {a(i, j), a(i + 1, j), a(i + 2, j),
+                                 a(i + 3, j)};
+        double out[4];
+        SubDotRange4(start, lj, l->RowPtr(i), l->RowPtr(i + 1),
+                     l->RowPtr(i + 2), l->RowPtr(i + 3), j, out);
+        (*l)(i, j) = out[0] / ljj;
+        (*l)(i + 1, j) = out[1] / ljj;
+        (*l)(i + 2, j) = out[2] / ljj;
+        (*l)(i + 3, j) = out[3] / ljj;
       }
+      for (; i < stop; ++i)
+        (*l)(i, j) = SubDotRange(a(i, j), lj, l->RowPtr(i), j) / ljj;
     };
     if (parallel) {
       ThreadPool::Global()->ParallelFor(n - j - 1, kParallelFactorGrain,
@@ -74,14 +90,115 @@ Result<Cholesky> Cholesky::Factor(const Matrix& a, double initial_jitter,
       "matrix is not positive definite even with maximum jitter");
 }
 
+Result<Cholesky> Cholesky::Extended(const Matrix& rows) const {
+  const size_t n = l_.rows();
+  const size_t k = rows.rows();
+  if (rows.cols() != n + k && k != 0)
+    return Status::InvalidArgument(
+        StrFormat("Append rows must be %zux%zu, got %zux%zu", k, n + k,
+                  rows.rows(), rows.cols()));
+  Cholesky out;
+  out.jitter_used_ = jitter_used_;
+  out.l_ = Matrix(n + k, n + k);
+  for (size_t r = 0; r < n; ++r) {
+    const double* src = l_.RowPtr(r);
+    double* dst = out.l_.RowPtr(r);
+    for (size_t c = 0; c <= r; ++c) dst[c] = src[c];
+  }
+  for (size_t i = 0; i < k; ++i) {
+    const size_t r = n + i;
+    double* lr = out.l_.RowPtr(r);
+    // Same left-looking expressions TryFactor evaluates for row r of the
+    // bordered matrix, against the frozen factor block — so on success the
+    // extended factor is bit-identical to factoring from scratch.
+    for (size_t j = 0; j < r; ++j)
+      lr[j] = SubDotRange(rows(i, j), out.l_.RowPtr(j), lr, j) / out.l_(j, j);
+    const double pivot = SubDotRange(rows(i, r) + jitter_used_, lr, lr, r);
+    if (pivot <= 0.0 || !std::isfinite(pivot))
+      return Status::Internal(StrFormat(
+          "appended row %zu is not positive definite at jitter %g; refactor "
+          "from scratch",
+          r, jitter_used_));
+    lr[r] = std::sqrt(pivot);
+  }
+  return out;
+}
+
+Status Cholesky::Append(const Matrix& rows) {
+  if (rows.rows() == 0) return Status::OK();
+  Result<Cholesky> ext = Extended(rows);
+  if (!ext.ok()) return ext.status();
+  *this = std::move(*ext);
+  return Status::OK();
+}
+
 Vector Cholesky::SolveLower(const Vector& b) const {
   const size_t n = l_.rows();
   assert(b.size() == n);
   Vector y(n);
-  for (size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
-    y[i] = sum / l_(i, i);
+  for (size_t i = 0; i < n; ++i)
+    y[i] = SubDotRange(b[i], l_.RowPtr(i), y.data(), i) / l_(i, i);
+  return y;
+}
+
+Matrix Cholesky::SolveLowerRows(const Matrix& rhs_rows) const {
+  const size_t n = l_.rows();
+  assert(rhs_rows.cols() == n);
+  const size_t q = rhs_rows.rows();
+  Matrix y = rhs_rows;  // blocked rows are overwritten with their solutions
+  if (q == 0 || n == 0) return y;
+
+  // Right-hand sides are solved in interleaved blocks: a block of W chains
+  // lives in one n x W scratch where row t holds element t of every chain,
+  // so the W independent running subtractions advance in lock step through
+  // packed lanes (SubDotInterleavedStep) while each chain keeps the exact
+  // scalar SolveLower arithmetic. The decomposition — as many 16-wide
+  // blocks as fit, then one 8-wide, one 4-wide, and a scalar tail — is
+  // fixed by q alone, and only whole blocks are handed to the pool, so the
+  // result is bit-identical at any thread count.
+  // Transposes run chain-outer so the q x n side is touched sequentially;
+  // the strided side is the n x W scratch, which stays L1-resident.
+  auto solve_block = [&](size_t base, auto wtag, double* buf) {
+    constexpr int kW = decltype(wtag)::value;
+    for (int k = 0; k < kW; ++k) {
+      const double* row = y.RowPtr(base + k);
+      for (size_t t = 0; t < n; ++t) buf[t * kW + k] = row[t];
+    }
+    for (size_t i = 0; i < n; ++i)
+      SubDotInterleavedStep<kW>(l_.RowPtr(i), i, l_(i, i), buf);
+    for (int k = 0; k < kW; ++k) {
+      double* row = y.RowPtr(base + k);
+      for (size_t t = 0; t < n; ++t) row[t] = buf[t * kW + k];
+    }
+  };
+
+  const size_t blocks16 = q / 16;
+  if (blocks16 > 0) {
+    // Per-task scratch (one block's worth, n x 16): small enough to come
+    // from the allocator's fast path, and tasks write disjoint rows of y.
+    ThreadPool::Global()->ParallelFor(
+        blocks16, /*grain=*/1, [&](size_t blk_begin, size_t blk_end) {
+          std::unique_ptr<double[]> scratch(new double[n * 16]);
+          for (size_t blk = blk_begin; blk < blk_end; ++blk) {
+            solve_block(blk * 16, std::integral_constant<int, 16>{},
+                        scratch.get());
+          }
+        });
+  }
+  size_t done = blocks16 * 16;
+  std::vector<double> tail_buf(n * 8);
+  if (q - done >= 8) {
+    solve_block(done, std::integral_constant<int, 8>{}, tail_buf.data());
+    done += 8;
+  }
+  if (q - done >= 4) {
+    solve_block(done, std::integral_constant<int, 4>{}, tail_buf.data());
+    done += 4;
+  }
+  for (size_t r = done; r < q; ++r) {
+    double* row = y.RowPtr(r);
+    for (size_t i = 0; i < n; ++i)
+      row[i] = SubDotRange(row[i], l_.RowPtr(i), row, i) / l_(i, i);
   }
   return y;
 }

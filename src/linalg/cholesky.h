@@ -21,6 +21,26 @@ class Cholesky {
                                  double initial_jitter = 1e-10,
                                  double max_jitter = 1e-2);
 
+  /// Rank-k extension of the factor when new observations arrive: given
+  /// this factor of the n x n matrix A, appends the k trailing rows/columns
+  /// of the bordered matrix A' = [[A, B^T], [B, C]] in O(n^2 k) instead of
+  /// the O(n^3) from-scratch refactor. `rows` is k x (n+k); its row i holds
+  /// row n+i of A' up to and including the diagonal (columns beyond n+i are
+  /// ignored). Each new factor row is computed with the exact expression
+  /// and summation order of the serial elimination, and jitter_used() is
+  /// added to every new diagonal entry, so on success the factor is
+  /// bit-identical to Factor(A') whenever Factor(A') lands on the same
+  /// jitter. When a new pivot is non-positive the factor is left unchanged
+  /// and an error is returned — jitter cannot be added retroactively to the
+  /// already-frozen block, so the caller must refactor from scratch.
+  Status Append(const Matrix& rows);
+
+  /// Non-mutating form of Append: returns the extended factor, leaving this
+  /// one untouched. Exactly one (n+k)^2 allocation+copy is made (the frozen
+  /// block is written straight into the extended matrix), which is what
+  /// GpRegression::ExtendedWith uses to avoid copying the factor twice.
+  Result<Cholesky> Extended(const Matrix& rows) const;
+
   /// Solves A x = b via forward+back substitution.
   Vector Solve(const Vector& b) const;
 
@@ -29,6 +49,16 @@ class Cholesky {
 
   /// Solves L y = b (forward substitution only).
   Vector SolveLower(const Vector& b) const;
+
+  /// Multi-right-hand-side forward substitution: solves L y = rhs for every
+  /// ROW of `rhs_rows` (q x n, one right-hand side per row) and returns the
+  /// q x n matrix whose row j is the solution for row j. Row j is computed
+  /// with the exact arithmetic of SolveLower on that row — bit-identical at
+  /// any thread count — but rows are processed in blocks of four whose
+  /// independent accumulator chains overlap in the FPU pipeline
+  /// (SubDotRange4) and share each streamed L row, which is where batched
+  /// prediction gets its single-core speedup.
+  Matrix SolveLowerRows(const Matrix& rhs_rows) const;
 
   /// log(det(A)) = 2 * sum(log(L_ii)); cheap once factored.
   double LogDeterminant() const;

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/estimation_engine.h"
+#include "core/hybrid_optimizer.h"
+#include "core/partial_sampling_optimizer.h"
+#include "core/solution.h"
+#include "data/logistic_generator.h"
+#include "eval/evaluation.h"
+
+namespace humo {
+namespace {
+
+/// Scoped HUMO_GP_INCREMENTAL override; restores the prior value on exit so
+/// the rest of the suite keeps running under the default (incremental on).
+class ScopedGpIncremental {
+ public:
+  explicit ScopedGpIncremental(const char* value) {
+    const char* prev = std::getenv("HUMO_GP_INCREMENTAL");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    ::setenv("HUMO_GP_INCREMENTAL", value, /*overwrite=*/1);
+  }
+  ~ScopedGpIncremental() {
+    if (had_prev_) {
+      ::setenv("HUMO_GP_INCREMENTAL", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("HUMO_GP_INCREMENTAL");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+data::Workload MakeWorkload(uint64_t seed = 1, size_t n = 40000) {
+  data::LogisticGeneratorOptions o;
+  o.num_pairs = n;
+  o.pairs_per_subset = 200;
+  o.tau = 14.0;
+  o.sigma = 0.05;
+  o.seed = seed;
+  return data::GenerateLogisticWorkload(o);
+}
+
+struct RunOutcome {
+  size_t h_lo, h_hi, cost;
+  core::CacheStats stats;
+};
+
+RunOutcome RunSamp(const data::Workload& w, uint64_t seed) {
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  core::EstimationContext ctx(&p, &oracle);
+  core::PartialSamplingOptions po;
+  po.seed = seed;
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  auto sol = core::PartialSamplingOptimizer(po).Optimize(&ctx, req);
+  EXPECT_TRUE(sol.ok());
+  return {sol->h_lo, sol->h_hi, oracle.cost(), ctx.stats()};
+}
+
+RunOutcome RunHybr(const data::Workload& w, uint64_t seed) {
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  core::EstimationContext ctx(&p, &oracle);
+  core::HybridOptions ho;
+  ho.sampling.seed = seed;
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  auto sol = core::HybridOptimizer(ho).Optimize(&ctx, req);
+  EXPECT_TRUE(sol.ok());
+  return {sol->h_lo, sol->h_hi, oracle.cost(), ctx.stats()};
+}
+
+/// The acceptance property of the incremental refit path: SAMP produces the
+/// SAME solution, at the same human cost, whether GP re-estimation re-runs
+/// the full hyperparameter grid every round (legacy, HUMO_GP_INCREMENTAL=0)
+/// or warm-starts rank-k appends on the previous winner (default).
+TEST(GpIncrementalTest, SampSolutionsIdenticalWithAndWithoutIncremental) {
+  const data::Workload w = MakeWorkload(1);
+  for (uint64_t seed : {5u, 17u, 42u}) {
+    RunOutcome legacy_out, warm_out;
+    {
+      ScopedGpIncremental off("0");
+      legacy_out = RunSamp(w, seed);
+    }
+    {
+      ScopedGpIncremental on("1");
+      warm_out = RunSamp(w, seed);
+    }
+    EXPECT_EQ(legacy_out.h_lo, warm_out.h_lo) << "seed " << seed;
+    EXPECT_EQ(legacy_out.h_hi, warm_out.h_hi) << "seed " << seed;
+    EXPECT_EQ(legacy_out.cost, warm_out.cost) << "seed " << seed;
+    // Counter sanity: the legacy path never warm-starts; the incremental
+    // path replaced grid re-runs with appends.
+    EXPECT_EQ(legacy_out.stats.gp_warm_starts, 0u);
+    EXPECT_GT(legacy_out.stats.gp_grid_fits, 0u);
+    EXPECT_GT(warm_out.stats.gp_warm_starts, 0u) << "seed " << seed;
+    EXPECT_LT(warm_out.stats.gp_grid_fits, legacy_out.stats.gp_grid_fits)
+        << "seed " << seed;
+  }
+}
+
+TEST(GpIncrementalTest, HybrSolutionsIdenticalWithAndWithoutIncremental) {
+  const data::Workload w = MakeWorkload(3);
+  RunOutcome legacy_out, warm_out;
+  {
+    ScopedGpIncremental off("0");
+    legacy_out = RunHybr(w, 7);
+  }
+  {
+    ScopedGpIncremental on("1");
+    warm_out = RunHybr(w, 7);
+  }
+  EXPECT_EQ(legacy_out.h_lo, warm_out.h_lo);
+  EXPECT_EQ(legacy_out.h_hi, warm_out.h_hi);
+  EXPECT_EQ(legacy_out.cost, warm_out.cost);
+}
+
+/// Incremental refits stay bit-identical across thread counts, like every
+/// other parallel surface in the library.
+TEST(GpIncrementalTest, IncrementalPathThreadCountInvariant) {
+  ScopedGpIncremental on("1");
+  const data::Workload w = MakeWorkload(9, 30000);
+  auto run = [&](size_t threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    return RunSamp(w, 11);
+  };
+  const RunOutcome serial = run(1);
+  const RunOutcome parallel = run(4);
+  ThreadPool::SetGlobalThreads(0);
+  EXPECT_EQ(serial.h_lo, parallel.h_lo);
+  EXPECT_EQ(serial.h_hi, parallel.h_hi);
+  EXPECT_EQ(serial.cost, parallel.cost);
+  EXPECT_EQ(serial.stats.gp_warm_starts, parallel.stats.gp_warm_starts);
+  EXPECT_EQ(serial.stats.gp_grid_fits, parallel.stats.gp_grid_fits);
+  EXPECT_EQ(serial.stats.gp_rows_appended, parallel.stats.gp_rows_appended);
+}
+
+/// A chained run on a SHARED context that asks for a different kernel
+/// family must not warm-start from the previous run's model — the warm path
+/// keeps hyperparameters, and a Matern run served an RBF fit would break
+/// the 0/1-identity contract exactly where GpFitState persists across runs.
+TEST(GpIncrementalTest, DifferentKernelFamilyOnSharedContextRefitsGrid) {
+  const data::Workload w = MakeWorkload(11);
+  core::SubsetPartition p(&w, 200);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  core::PartialSamplingOptions rbf;
+  rbf.seed = 3;
+  core::PartialSamplingOptions matern = rbf;
+  matern.kernel_family = gp::KernelFamily::kMatern52;
+
+  // Reference: Matern on a fresh context under the legacy full-refit path.
+  size_t ref_lo, ref_hi;
+  {
+    ScopedGpIncremental off("0");
+    core::Oracle oracle(&w);
+    core::EstimationContext ctx(&p, &oracle);
+    auto sol = core::PartialSamplingOptimizer(matern).Optimize(&ctx, req);
+    ASSERT_TRUE(sol.ok());
+    ref_lo = sol->h_lo;
+    ref_hi = sol->h_hi;
+  }
+
+  // Chained: RBF first, then Matern on the SAME context with warm starts
+  // enabled. The Matern run must ignore the RBF fit state and agree with
+  // the fresh-context reference.
+  ScopedGpIncremental on("1");
+  core::Oracle oracle(&w);
+  core::EstimationContext ctx(&p, &oracle);
+  ASSERT_TRUE(core::PartialSamplingOptimizer(rbf).Optimize(&ctx, req).ok());
+  auto chained = core::PartialSamplingOptimizer(matern).Optimize(&ctx, req);
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained->h_lo, ref_lo);
+  EXPECT_EQ(chained->h_hi, ref_hi);
+}
+
+/// The incremental path must not cost the human anything: warm-started runs
+/// still meet the quality targets (the solution is identical, so this is
+/// belt-and-braces on top of the identity tests above).
+TEST(GpIncrementalTest, IncrementalRunStillMeetsQuality) {
+  ScopedGpIncremental on("1");
+  const data::Workload w = MakeWorkload(5);
+  core::SubsetPartition p(&w, 200);
+  core::Oracle oracle(&w);
+  core::EstimationContext ctx(&p, &oracle);
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  auto sol = core::PartialSamplingOptimizer().Optimize(&ctx, req);
+  ASSERT_TRUE(sol.ok());
+  const auto result = core::ApplySolution(p, *sol, &oracle);
+  const auto q = eval::QualityOf(w, result.labels);
+  EXPECT_GE(q.precision, 0.9);
+  EXPECT_GE(q.recall, 0.9);
+}
+
+}  // namespace
+}  // namespace humo
