@@ -134,6 +134,41 @@ const stats::Stratum& EstimationContext::SampleSubset(size_t k, size_t take,
   return cache_.StratumAt(k);
 }
 
+size_t EstimationContext::InspectSubsetPairs(
+    size_t k, const std::vector<size_t>& pair_indices) {
+  assert(k < partition_->num_subsets());
+  const Subset& s = (*partition_)[k];
+  size_t matches = 0;
+  std::vector<size_t> fresh;
+  fresh.reserve(pair_indices.size());
+  for (size_t i : pair_indices) {
+    assert(i >= s.begin && i < s.end);
+    if (oracle_->WasAsked(i)) {
+      matches += oracle_->CachedAnswer(i);
+    } else {
+      fresh.push_back(i);
+    }
+  }
+  const std::vector<char> answers = oracle_->InspectBatch(fresh);
+  for (char a : answers) matches += a;
+  stats_.oracle_pairs_inspected += fresh.size();
+  stats_.oracle_pairs_saved += pair_indices.size() - fresh.size();
+  // Refresh the cached stratum to the oracle's full answer set for the
+  // subset (answers accumulated by ANY earlier phase included). Risk-ordered
+  // inspection draws pairs in seeded-random order, so the enlarged stratum
+  // keeps the random-sample semantics SampleSubset consumers assume.
+  stats::Stratum st;
+  st.population = s.size();
+  for (size_t i = s.begin; i < s.end; ++i) {
+    if (!oracle_->WasAsked(i)) continue;
+    ++st.sample_size;
+    st.sample_positives += oracle_->CachedAnswer(i);
+  }
+  cache_.SetStratum(k, st);
+  if (st.fully_enumerated()) cache_.SetFullCount(k, st.sample_positives);
+  return matches;
+}
+
 double EstimationContext::UpperWindowProportion(size_t lo, size_t hi,
                                                 size_t window,
                                                 size_t max_pairs) const {

@@ -127,8 +127,9 @@ struct PartialSamplingOutcome {
 
 /// Shared estimation state for one (partition, oracle) pair.
 ///
-/// All four optimizers (BASE §V, SAMP §VI-A/B, HYBR §VII) consume subset
-/// statistics that are expensive only because producing them asks the human:
+/// All the optimizers (BASE §V, ALL/SAMP §VI, HYBR §VII, and the r-HUMO
+/// style RISK) consume subset statistics that are expensive only because
+/// producing them asks the human:
 /// full enumerations, random samples, GP fits over the samples, and the
 /// confidence bounds derived from them. Running the optimizers against one
 /// EstimationContext memoizes that work — HYBR's re-extension phase after a
@@ -164,6 +165,17 @@ class EstimationContext {
   /// fresh sample is drawn from `rng` exactly like the historical serial
   /// path and inspected as one batch (minus already-answered pairs).
   const stats::Stratum& SampleSubset(size_t k, size_t take, Rng* rng);
+
+  /// Human-labels specific pairs of subset k (absolute workload indices
+  /// inside the subset's range) as one batch; returns the matches among
+  /// them. Pairs the oracle already answered are served from its memory
+  /// (free), only the rest are inspected. Afterwards the subset's cached
+  /// stratum is refreshed to cover EVERY answered pair of the subset, so
+  /// later SampleSubset/LabelSubset calls — and chained optimizer runs —
+  /// reuse the answers (a fully covered subset is promoted to a full
+  /// count). This is the risk-aware optimizer's inspection primitive: it
+  /// pays per pair, not per subset.
+  size_t InspectSubsetPairs(size_t k, const std::vector<size_t>& pair_indices);
 
   /// Observed match proportion of the `window` most recently labeled
   /// subsets on the upper side of DH = [lo, hi] (walking down from hi).

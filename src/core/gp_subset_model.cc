@@ -43,6 +43,13 @@ double GpSubsetModel::PriorK(size_t a, size_t b) const {
   return gp_.kernel()(v_[a], v_[b]);
 }
 
+double GpSubsetModel::PosteriorVariance(size_t k) const {
+  assert(k < v_.size());
+  if (IsExact(k)) return 0.0;
+  return variance_inflation_ * gp_.PosteriorVarianceFromWhitened(v_[k], w_[k]) +
+         ScatterVariance(k);
+}
+
 double GpSubsetModel::PopulationInRange(size_t a, size_t b) const {
   if (a > b || b >= v_.size()) return 0.0;
   return pop_prefix_[b + 1] - pop_prefix_[a];

@@ -59,6 +59,14 @@ class GpSubsetModel {
     return !obs_.empty() && obs_[k].exact;
   }
 
+  /// Posterior variance of subset k's match proportion: the LOO-inflated GP
+  /// posterior variance at v_k plus the subset's independent scatter; 0 for
+  /// exact subsets. Computed from the cached whitened cross vector
+  /// (GpRegression::PosteriorVarianceFromWhitened), so it costs one kernel
+  /// evaluation plus one O(train) dot product — this is the per-subset
+  /// uncertainty the risk-aware optimizer scores inspection priority with.
+  double PosteriorVariance(size_t k) const;
+
   /// Independent scatter variance applied to non-exact subset k.
   double ScatterVariance(size_t k) const {
     return scatter_.empty() ? 0.0 : scatter_[k];

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstddef>
+
 #include "common/result.h"
 #include "core/estimation_engine.h"
 #include "core/oracle.h"
 #include "core/partial_sampling_optimizer.h"
 #include "core/partition.h"
+#include "core/risk_aware_optimizer.h"
 #include "core/solution.h"
 
 namespace humo::core {
@@ -15,6 +18,13 @@ struct HybridOptions {
   PartialSamplingOptions sampling;
   /// BASE-style estimation window used for the monotonicity bounds.
   size_t window_subsets = 5;
+  /// Risk mode (OptimizeRiskAware) only: an S0 subset adjacent to the
+  /// selected range whose GP-posterior proportion half-width (at the run's
+  /// confidence) exceeds this is absorbed into DH rather than left in
+  /// D+/D-, where its bound penalty would be immovable — inspection is
+  /// confined to DH, so one wide edge subset left outside costs more
+  /// compensating inspections inside than absorbing it does.
+  double risk_edge_uncertainty = 0.02;
 };
 
 /// HYBR: starts from the partial-sampling solution S0 = [i0, j0], resets DH
@@ -39,6 +49,31 @@ class HybridOptimizer {
   Result<HumoSolution> Optimize(const SubsetPartition& partition,
                                 const QualityRequirement& req,
                                 Oracle* oracle) const;
+
+  /// HYBR with risk-ordered inspection inside its selected subsets. Like
+  /// Optimize, DH is re-grown outward from the median subset of S0 and
+  /// never exceeds S0's range — but no subset is labeled wholesale.
+  /// Instead the range first grows, without any inspection, until its
+  /// POTENTIAL certificate (CertifyRangePotential: the bounds full
+  /// inspection could at best reach) meets the requirement, and then the
+  /// shared risk certification loop (RiskAwareOptimizer::ResolveWithin)
+  /// inspects the selected subsets' pairs in risk order until the actual
+  /// bounds certify. A range that exhausts uncertified is grown toward the
+  /// failing requirement and re-certified — nothing already inspected is
+  /// wasted, the evidence persists in the oracle's memory.
+  /// `risk_options.sampling` is ignored: S0 and the margins come from this
+  /// optimizer's own options_.sampling; only the risk prior, batch size
+  /// and inspection-order seed are consumed. The returned inspection stats
+  /// aggregate pairs_inspected/batches across certification attempts;
+  /// subsets_touched covers the final attempt.
+  Result<RiskAwareOutcome> OptimizeRiskAware(
+      EstimationContext* ctx, const QualityRequirement& req,
+      const RiskAwareOptions& risk_options = {}) const;
+
+  /// Risk-ordered variant with a private, throwaway context.
+  Result<RiskAwareOutcome> OptimizeRiskAware(
+      const SubsetPartition& partition, const QualityRequirement& req,
+      Oracle* oracle, const RiskAwareOptions& risk_options = {}) const;
 
  private:
   HybridOptions options_;

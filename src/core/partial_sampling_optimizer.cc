@@ -256,6 +256,24 @@ Result<gp::GpRegression> FitGp(
 
 }  // namespace
 
+Result<std::shared_ptr<const PartialSamplingOutcome>> EnsureSamplingOutcome(
+    EstimationContext* ctx, const QualityRequirement& req,
+    const PartialSamplingOptions& options) {
+  if (ctx == nullptr)
+    return Status::InvalidArgument("estimation context must not be null");
+  std::shared_ptr<const PartialSamplingOutcome> s0 = ctx->sampling_outcome();
+  if (s0 != nullptr && s0->req.alpha == req.alpha &&
+      s0->req.beta == req.beta && s0->req.theta == req.theta)
+    return s0;
+  PartialSamplingOptimizer samp(options);
+  HUMO_ASSIGN_OR_RETURN(PartialSamplingOutcome fresh,
+                        samp.OptimizeDetailed(ctx, req));
+  (void)fresh;  // published into the context by OptimizeDetailed
+  s0 = ctx->sampling_outcome();
+  assert(s0 != nullptr);
+  return s0;
+}
+
 Result<HumoSolution> PartialSamplingOptimizer::Optimize(
     const SubsetPartition& partition, const QualityRequirement& req,
     Oracle* oracle) const {

@@ -110,4 +110,13 @@ class PartialSamplingOptimizer {
   PartialSamplingOptions options_;
 };
 
+/// The S0 reuse discipline shared by HYBR and RISK: returns the context's
+/// stored partial-sampling outcome when it certified exactly `req`
+/// (alpha, beta and theta all equal), otherwise runs a SAMP pass with
+/// `options` — which publishes its outcome into the context — and returns
+/// that. Never null on success.
+Result<std::shared_ptr<const PartialSamplingOutcome>> EnsureSamplingOutcome(
+    EstimationContext* ctx, const QualityRequirement& req,
+    const PartialSamplingOptions& options);
+
 }  // namespace humo::core

@@ -230,6 +230,14 @@ linalg::Vector GpRegression::WhitenedCross(double x_star) const {
   return chol_.SolveLower(k_star);
 }
 
+double GpRegression::PosteriorVarianceFromWhitened(
+    double x_star, const linalg::Vector& w) const {
+  assert(w.size() == x_.size());
+  const double var =
+      (*kernel_)(x_star, x_star) - linalg::DotRange(w.data(), w.data(), w.size());
+  return var < 0.0 ? 0.0 : var;
+}
+
 Result<GpRegression> SelectGpByMarginalLikelihood(
     const std::vector<double>& x, const std::vector<double>& y,
     const std::vector<GpCandidate>& grid, KernelFamily family,

@@ -14,6 +14,7 @@ namespace humo::gp {
 struct Prediction {
   double mean = 0.0;
   double variance = 0.0;
+  /// sqrt(max(0, variance)) — guards the tiny negative roundoff residue.
   double stddev() const;
 };
 
@@ -107,7 +108,19 @@ class GpRegression {
   /// O(len(V)) per update instead of re-solving per query set.
   linalg::Vector WhitenedCross(double x_star) const;
 
+  /// Posterior variance k(x*,x*) - w.w (clamped at 0) at a query point whose
+  /// whitened cross vector `w` was already computed (by WhitenedCross or the
+  /// PredictBatch out-param). O(len(V)) — no triangular solve — which is what
+  /// makes per-subset risk scoring over cached whitened vectors cheap
+  /// (GpSubsetModel::PosteriorVariance). `w` must have been produced by THIS
+  /// model; equals Predict(x_star).variance exactly.
+  double PosteriorVarianceFromWhitened(double x_star,
+                                       const linalg::Vector& w) const;
+
+  /// The fitted kernel (hyperparameters as selected at Fit time).
   const Kernel& kernel() const { return *kernel_; }
+
+  /// Number of training observations the posterior conditions on.
   size_t num_training_points() const { return x_.size(); }
 
  private:

@@ -33,6 +33,16 @@
 ///                                        // oracle inspections
 ///   // ctx.stats() reports cache hits and the oracle traffic saved.
 ///
+/// To spend strictly less human effort than full DH verification, the
+/// risk-aware optimizer (core/risk_aware_optimizer.h) inspects DH pairs in
+/// decreasing misclassification-risk order and stops as soon as the
+/// quality requirement certifies, machine-labeling the low-risk remainder:
+///
+///   core::RiskAwareOptimizer risk;
+///   auto outcome = risk.Resolve(&ctx, req);   // final labels included —
+///                                             // do NOT ApplySolution after
+///   // outcome->resolution.labels, outcome->inspection.pairs_machine_labeled
+///
 /// Machine-side heavy paths (GP kernel matrices, Cholesky factorization,
 /// workload simulation) run on a thread pool sized by the HUMO_NUM_THREADS
 /// environment variable (default: hardware concurrency); results are
@@ -58,6 +68,8 @@
 #include "core/oracle.h"
 #include "core/partial_sampling_optimizer.h"
 #include "core/partition.h"
+#include "core/risk_aware_optimizer.h"
+#include "core/risk_model.h"
 #include "core/solution.h"
 #include "data/blocking.h"
 #include "data/logistic_generator.h"

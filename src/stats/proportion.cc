@@ -86,4 +86,33 @@ ProportionInterval AgrestiCoullInterval(size_t positives, size_t n,
   return {Clamp01(p_tilde - half), Clamp01(p_tilde + half)};
 }
 
+ProportionInterval BetaPosteriorInterval(size_t positives, size_t n,
+                                         double confidence, double prior_a,
+                                         double prior_b) {
+  assert(positives <= n);
+  assert(prior_a > 0.0 && prior_b > 0.0);
+  const double a = prior_a + static_cast<double>(positives);
+  const double b = prior_b + static_cast<double>(n - positives);
+  const double tail = (1.0 - confidence) / 2.0;
+  return {BetaQuantile(a, b, tail), BetaQuantile(a, b, 1.0 - tail)};
+}
+
+double BetaPosteriorUpperBound(size_t positives, size_t n, double confidence,
+                               double prior_a, double prior_b) {
+  assert(positives <= n);
+  assert(prior_a > 0.0 && prior_b > 0.0);
+  const double a = prior_a + static_cast<double>(positives);
+  const double b = prior_b + static_cast<double>(n - positives);
+  return BetaQuantile(a, b, confidence);
+}
+
+double BetaPosteriorLowerBound(size_t positives, size_t n, double confidence,
+                               double prior_a, double prior_b) {
+  assert(positives <= n);
+  assert(prior_a > 0.0 && prior_b > 0.0);
+  const double a = prior_a + static_cast<double>(positives);
+  const double b = prior_b + static_cast<double>(n - positives);
+  return BetaQuantile(a, b, 1.0 - confidence);
+}
+
 }  // namespace humo::stats

@@ -194,6 +194,41 @@ TEST(EstimationContextTest, StoresSamplingOutcome) {
   EXPECT_EQ(ctx.sampling_outcome(), outcome);
 }
 
+TEST(EstimationContextTest, InspectSubsetPairsMergesIntoStratumAndPromotes) {
+  const data::Workload w = MakeWorkload();
+  SubsetPartition p(&w, 200);
+  Oracle oracle(&w);
+  EstimationContext ctx(&p, &oracle);
+  const Subset& s = p[4];
+
+  // First half of the subset's pairs.
+  std::vector<size_t> first_half, second_half;
+  for (size_t i = s.begin; i < s.begin + s.size() / 2; ++i)
+    first_half.push_back(i);
+  for (size_t i = s.begin + s.size() / 2; i < s.end; ++i)
+    second_half.push_back(i);
+  const size_t m1 = ctx.InspectSubsetPairs(4, first_half);
+  EXPECT_EQ(oracle.cost(), first_half.size());
+  ASSERT_TRUE(ctx.cache().HasStratum(4));
+  EXPECT_EQ(ctx.cache().StratumAt(4).sample_size, first_half.size());
+  EXPECT_EQ(ctx.cache().StratumAt(4).sample_positives, m1);
+  EXPECT_FALSE(ctx.HasFullLabel(4));
+
+  // Re-asking the same pairs is free (served from the oracle's memory).
+  const size_t again = ctx.InspectSubsetPairs(4, first_half);
+  EXPECT_EQ(again, m1);
+  EXPECT_EQ(oracle.cost(), first_half.size());
+  EXPECT_EQ(oracle.duplicate_requests(), 0u);
+
+  // Completing the subset promotes the stratum to a full count, and a later
+  // LabelSubset is a pure cache hit.
+  const size_t m2 = ctx.InspectSubsetPairs(4, second_half);
+  EXPECT_TRUE(ctx.HasFullLabel(4));
+  const size_t cost_before = oracle.cost();
+  EXPECT_EQ(ctx.LabelSubset(4), m1 + m2);
+  EXPECT_EQ(oracle.cost(), cost_before);
+}
+
 TEST(OracleBatchTest, InspectBatchMatchesSerialAnswers) {
   const data::Workload w = MakeWorkload();
   Oracle a(&w, /*error_rate=*/0.2, /*seed=*/5);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/random.h"
 
 namespace humo::stats {
@@ -93,6 +95,75 @@ TEST(ProportionTest, ClopperPearsonIsWidestOfTheThree) {
   const auto exact = ClopperPearsonInterval(15, 50, 0.95);
   EXPECT_LE(exact.lo, wilson.lo + 1e-9);
   EXPECT_GE(exact.hi, wilson.hi - 1e-9);
+}
+
+TEST(BetaPosteriorTest, UniformPriorNoEvidenceIsTheUniformQuantiles) {
+  // With zero observations the uniform-prior posterior IS Beta(1,1), whose
+  // equal-tailed 90% interval is exactly [0.05, 0.95].
+  const auto iv = BetaPosteriorInterval(0, 0, 0.9);
+  EXPECT_NEAR(iv.lo, 0.05, 1e-9);
+  EXPECT_NEAR(iv.hi, 0.95, 1e-9);
+}
+
+TEST(BetaPosteriorTest, ZeroPositivesUpperBoundClosedForm) {
+  // Posterior Beta(1, n+1) has CDF 1 - (1-x)^(n+1); its c-quantile is
+  // 1 - (1-c)^(1/(n+1)).
+  for (size_t n : {size_t{10}, size_t{50}, size_t{200}}) {
+    const double expected =
+        1.0 - std::pow(1.0 - 0.95, 1.0 / static_cast<double>(n + 1));
+    EXPECT_NEAR(BetaPosteriorUpperBound(0, n, 0.95), expected, 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(BetaPosteriorTest, LowerBoundMirrorsUpperBound) {
+  // By the symmetry p -> 1-p, positives -> n - positives (uniform prior).
+  const double up = BetaPosteriorUpperBound(7, 40, 0.9);
+  const double lo = BetaPosteriorLowerBound(33, 40, 0.9);
+  EXPECT_NEAR(up, 1.0 - lo, 1e-9);
+}
+
+TEST(BetaPosteriorTest, IntervalContainsPosteriorMeanAndTightensWithN) {
+  const auto small = BetaPosteriorInterval(5, 20, 0.9);
+  const auto large = BetaPosteriorInterval(50, 200, 0.9);
+  const double mean_small = (1.0 + 5.0) / (2.0 + 20.0);
+  const double mean_large = (1.0 + 50.0) / (2.0 + 200.0);
+  EXPECT_LT(small.lo, mean_small);
+  EXPECT_GT(small.hi, mean_small);
+  EXPECT_LT(large.lo, mean_large);
+  EXPECT_GT(large.hi, mean_large);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(BetaPosteriorTest, OneSidedBoundsTightenWithConfidenceDropping) {
+  EXPECT_LT(BetaPosteriorUpperBound(3, 100, 0.9),
+            BetaPosteriorUpperBound(3, 100, 0.99));
+  EXPECT_GT(BetaPosteriorLowerBound(97, 100, 0.9),
+            BetaPosteriorLowerBound(97, 100, 0.99));
+}
+
+TEST(BetaPosteriorTest, JeffreysPriorIsSharperAtZeroCounts) {
+  // Jeffreys Beta(0.5, 0.5) concentrates more mass at the extremes, so its
+  // upper bound after 0/20 sits below the uniform prior's.
+  EXPECT_LT(BetaPosteriorUpperBound(0, 20, 0.95, 0.5, 0.5),
+            BetaPosteriorUpperBound(0, 20, 0.95));
+}
+
+TEST(BetaPosteriorTest, CoverageAtLeastNominal) {
+  // Monte-Carlo: a 90% credible interval under a flat prior behaves close
+  // to a 90% confidence interval for moderate n.
+  Rng rng(13);
+  const double p = 0.12;
+  const size_t n = 80;
+  int covered = 0;
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    size_t k = 0;
+    for (size_t i = 0; i < n; ++i) k += rng.NextBernoulli(p);
+    const auto iv = BetaPosteriorInterval(k, n, 0.9);
+    if (iv.lo <= p && p <= iv.hi) ++covered;
+  }
+  EXPECT_GE(static_cast<double>(covered) / reps, 0.87);
 }
 
 }  // namespace

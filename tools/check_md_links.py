@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fails when a markdown file contains a broken relative link.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+
+Checks every inline link/image target `[text](target)`:
+  - http(s)/mailto targets are skipped (no network in CI);
+  - pure-anchor targets (#section) are checked against the headings of the
+    same file; `path#anchor` is checked for the file only;
+  - everything else must exist on disk, relative to the markdown file.
+
+Exit status: 0 when all links resolve, 1 otherwise (each failure printed).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images, tolerating one level of nested parentheses in the
+# target. Reference-style links are rare in this repo and not used.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (lowercase, spaces to dashes)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def check_file(md: Path) -> list:
+    text = md.read_text(encoding="utf-8")
+    anchors = {github_anchor(h) for h in HEADING_RE.findall(text)}
+    errors = []
+    for target in LINK_RE.findall(CODE_FENCE_RE.sub("", text)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # same-file anchor
+            if anchor and github_anchor(anchor) not in anchors:
+                errors.append(f"{md}: broken anchor '#{anchor}'")
+            continue
+        resolved = (md.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md}: broken link '{target}' -> {resolved}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_md_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    failures = []
+    checked = 0
+    for name in argv:
+        md = Path(name)
+        if not md.exists():
+            failures.append(f"{md}: file not found")
+            continue
+        checked += 1
+        failures.extend(check_file(md))
+    for f in failures:
+        print(f, file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
