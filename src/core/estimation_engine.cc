@@ -32,6 +32,19 @@ void SubsetStatsCache::SetStratum(size_t k, const stats::Stratum& stratum) {
   strata_[k] = stratum;
 }
 
+void SubsetStatsCache::ResizeKeepingPrefix(size_t num_subsets,
+                                           size_t keep_prefix) {
+  keep_prefix = std::min(keep_prefix, num_subsets);
+  full_known_.resize(num_subsets, 0);
+  full_count_.resize(num_subsets, 0);
+  stratum_known_.resize(num_subsets, 0);
+  strata_.resize(num_subsets, stats::Stratum{});
+  std::fill(full_known_.begin() + static_cast<ptrdiff_t>(keep_prefix),
+            full_known_.end(), 0);
+  std::fill(stratum_known_.begin() + static_cast<ptrdiff_t>(keep_prefix),
+            stratum_known_.end(), 0);
+}
+
 void SubsetStatsCache::Clear() {
   std::fill(full_known_.begin(), full_known_.end(), 0);
   std::fill(stratum_known_.begin(), stratum_known_.end(), 0);
@@ -203,6 +216,22 @@ double EstimationContext::LowerWindowProportion(size_t lo, size_t hi,
   return pairs == 0
              ? 0.0
              : static_cast<double>(matches) / static_cast<double>(pairs);
+}
+
+void EstimationContext::OnPartitionExtended(size_t preserved_prefix_subsets) {
+  const size_t m = partition_->num_subsets();
+  preserved_prefix_subsets = std::min(preserved_prefix_subsets, m);
+  cache_.ResizeKeepingPrefix(m, preserved_prefix_subsets);
+  // The stored outcome's solution range and strata vector describe the old
+  // partition — a consumer reusing them against the new one would read past
+  // the end or mislabel subsets.
+  sampling_outcome_.reset();
+  const bool warm_state_intact =
+      std::all_of(gp_fit_state_.order.begin(), gp_fit_state_.order.end(),
+                  [preserved_prefix_subsets](size_t k) {
+                    return k < preserved_prefix_subsets;
+                  });
+  if (!warm_state_intact) gp_fit_state_ = GpFitState{};
 }
 
 void EstimationContext::StoreSamplingOutcome(

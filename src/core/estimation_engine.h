@@ -55,6 +55,13 @@ class SubsetStatsCache {
   explicit SubsetStatsCache(size_t num_subsets) { Resize(num_subsets); }
 
   void Resize(size_t num_subsets);
+
+  /// Resizes to `num_subsets`, keeping the statistics of the first
+  /// `keep_prefix` subsets and clearing everything at or beyond it — the
+  /// streaming carry-over after a pure tail-append epoch, where subsets
+  /// [0, keep_prefix) provably kept their exact [begin, end) content.
+  void ResizeKeepingPrefix(size_t num_subsets, size_t keep_prefix);
+
   size_t num_subsets() const { return full_known_.size(); }
 
   bool HasFullCount(size_t k) const { return full_known_[k] != 0; }
@@ -210,6 +217,18 @@ class EstimationContext {
     stats_.gp_rows_appended += rows_appended;
   }
   void RecordGpGridFit() { ++stats_.gp_grid_fits; }
+
+  /// Carries the context across a partition change (a streaming epoch
+  /// merge): the subset caches are resized to the partition's new subset
+  /// count, keeping the statistics of the first `preserved_prefix_subsets`
+  /// subsets — the caller's proof that those subsets' [begin, end) contents
+  /// are untouched (pure tail append; pass 0 after an interior merge, which
+  /// clears everything). The stored sampling outcome is always dropped (its
+  /// solution and strata index the old partition), and the GP warm-start
+  /// state survives only when every subset it trained on lies inside the
+  /// preserved prefix (its inputs are those subsets' average similarities).
+  /// Counters in stats() are cumulative and unaffected.
+  void OnPartitionExtended(size_t preserved_prefix_subsets);
 
   const SubsetStatsCache& cache() const { return cache_; }
   const CacheStats& stats() const { return stats_; }

@@ -1,5 +1,6 @@
 #include "core/oracle.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace humo::core {
@@ -53,6 +54,18 @@ size_t Oracle::InspectRange(size_t begin, size_t end) {
   return matches;
 }
 
+void Oracle::Preload(size_t index, bool answer) {
+  assert(index < workload_->size());
+  if (answers_.emplace(index, answer).second) ++preloaded_;
+}
+
+std::vector<std::pair<size_t, bool>> Oracle::AnswerSnapshot() const {
+  std::vector<std::pair<size_t, bool>> snapshot(answers_.begin(),
+                                                answers_.end());
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
 bool Oracle::CachedAnswer(size_t index) const {
   const auto it = answers_.find(index);
   assert(it != answers_.end() && "CachedAnswer on an uninspected pair");
@@ -67,6 +80,7 @@ double Oracle::CostFraction() const {
 void Oracle::Reset() {
   answers_.clear();
   total_requests_ = 0;
+  preloaded_ = 0;
 }
 
 }  // namespace humo::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "data/workload.h"
@@ -40,9 +41,23 @@ class Oracle {
   /// the number of matches among them.
   size_t InspectRange(size_t begin, size_t end);
 
+  /// Seeds the answer memory with an answer that was already paid for
+  /// elsewhere — the streaming resolver's evidence carry-over across epoch
+  /// merges, where pair indices shift and answers must be re-keyed. A
+  /// preloaded answer is free: it adds nothing to cost() or
+  /// total_requests(), and later queries on the pair are served from memory
+  /// exactly like a previously inspected one (WasAsked/CachedAnswer see
+  /// it). Preloading an index that already has an answer is a no-op.
+  void Preload(size_t index, bool answer);
+
+  /// Number of answers seeded through Preload (and still distinct from any
+  /// fresh inspection).
+  size_t preloaded() const { return preloaded_; }
+
   /// Number of distinct pairs inspected so far (the paper's human-cost
-  /// metric).
-  size_t cost() const { return answers_.size(); }
+  /// metric). Preloaded answers are excluded — they were paid for wherever
+  /// they were originally inspected.
+  size_t cost() const { return answers_.size() - preloaded_; }
 
   /// Every pair index ever passed to Label/InspectBatch/InspectRange,
   /// including repeats answered from memory.
@@ -64,8 +79,14 @@ class Oracle {
   /// not count as a request). Precondition: WasAsked(index).
   bool CachedAnswer(size_t index) const;
 
-  /// Forgets all answers and resets the cost counter.
+  /// Forgets all answers (including preloads) and resets every counter.
   void Reset();
+
+  /// Every (index, answer) held in memory — fresh inspections and preloads
+  /// alike — sorted by index so the snapshot is deterministic. This is what
+  /// the streaming resolver persists across an epoch merge before re-keying
+  /// the answers against the merged workload.
+  std::vector<std::pair<size_t, bool>> AnswerSnapshot() const;
 
   const data::Workload& workload() const { return *workload_; }
 
@@ -74,6 +95,7 @@ class Oracle {
   double error_rate_;
   uint64_t seed_;
   size_t total_requests_ = 0;
+  size_t preloaded_ = 0;
   std::unordered_map<size_t, bool> answers_;
 };
 

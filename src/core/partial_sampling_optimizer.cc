@@ -217,22 +217,7 @@ Result<gp::GpRegression> FitGp(
     // uncertifiable at any reasonable cost.
     noise.push_back(strata[k].proportion_variance() + scatter_variance);
   }
-  double max_gap = 0.0;
-  for (size_t t = 1; t < xs.size(); ++t)
-    max_gap = std::max(max_gap, xs[t] - xs[t - 1]);
-  const double min_length_scale = 1.5 * max_gap;
-  std::vector<gp::GpCandidate> grid;
-  double largest_l = 0.0;
-  for (const auto& cand : gp::DefaultGpGrid()) {
-    largest_l = std::max(largest_l, cand.length_scale);
-    if (cand.length_scale >= min_length_scale) grid.push_back(cand);
-  }
-  if (grid.empty()) {
-    // Gaps exceed every stock scale: fall back to scales proportional to
-    // the gap itself.
-    for (double sf2 : {0.01, 0.25, 1.0})
-      grid.push_back({sf2, min_length_scale});
-  }
+  const std::vector<gp::GpCandidate> grid = gp::GapGuardedGrid(xs);
   gp::GpOptions gp_options;
   gp_options.noise_variance = options.gp_noise_floor;
   gp_options.center_mean = true;

@@ -1,5 +1,6 @@
 #include "core/partition.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace humo::core {
@@ -9,20 +10,33 @@ SubsetPartition::SubsetPartition(const data::Workload* workload,
     : workload_(workload), subset_size_(subset_size) {
   assert(workload_ != nullptr);
   assert(subset_size_ > 0);
+  Rebuild();
+}
+
+void SubsetPartition::Rebuild() { RebuildTail(0); }
+
+void SubsetPartition::RebuildTail(size_t from_subset) {
+  assert(workload_ != nullptr);
   const size_t n = workload_->size();
   const size_t m = n / subset_size_;  // final subset absorbs remainder
-  subsets_.reserve(m > 0 ? m : 1);
-  if (n == 0) return;
+  if (n == 0) {
+    subsets_.clear();
+    return;
+  }
   if (m == 0) {
     // Fewer pairs than one subset: single subset with everything.
     Subset s{0, n, 0.0};
     double acc = 0.0;
     for (size_t i = 0; i < n; ++i) acc += (*workload_)[i].similarity;
     s.avg_similarity = acc / static_cast<double>(n);
-    subsets_.push_back(s);
+    subsets_.assign(1, s);
     return;
   }
-  for (size_t k = 0; k < m; ++k) {
+  from_subset = std::min(from_subset, m);
+  assert(from_subset <= subsets_.size());
+  subsets_.resize(from_subset);
+  subsets_.reserve(m);
+  for (size_t k = from_subset; k < m; ++k) {
     Subset s;
     s.begin = k * subset_size_;
     s.end = (k + 1 == m) ? n : (k + 1) * subset_size_;

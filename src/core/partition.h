@@ -28,6 +28,22 @@ class SubsetPartition {
   /// `workload` must outlive the partition and be sorted by similarity.
   SubsetPartition(const data::Workload* workload, size_t subset_size);
 
+  /// Recomputes boundaries and per-subset averages for the workload's
+  /// current contents in one O(n) pass — the streaming path after an epoch
+  /// merge inserted pairs throughout the sorted order. Equivalent (bitwise,
+  /// including every avg_similarity) to constructing a fresh partition over
+  /// the same workload, but reuses the subset storage.
+  void Rebuild();
+
+  /// Append fast path: the workload only GREW AT THE TAIL since the last
+  /// (re)build, so every subset except the final remainder-absorbing one is
+  /// unchanged — only subsets from index min(from_subset, last) on are
+  /// recomputed, O(pairs in the recomputed tail) instead of O(n). Callers
+  /// pass the number of subsets whose [begin, end) content is untouched
+  /// (num_subsets() - 1 of the previous build, or 0 when there was none).
+  /// Bitwise-equivalent to Rebuild().
+  void RebuildTail(size_t from_subset);
+
   size_t num_subsets() const { return subsets_.size(); }
   const Subset& operator[](size_t k) const { return subsets_[k]; }
   const std::vector<Subset>& subsets() const { return subsets_; }

@@ -11,14 +11,31 @@ Workload::Workload(std::vector<InstancePair> pairs)
   SortBySimilarity();
 }
 
+bool PairLess(const InstancePair& a, const InstancePair& b) {
+  if (a.similarity != b.similarity) return a.similarity < b.similarity;
+  if (a.left_id != b.left_id) return a.left_id < b.left_id;
+  return a.right_id < b.right_id;
+}
+
 void Workload::SortBySimilarity() {
-  std::sort(pairs_.begin(), pairs_.end(),
-            [](const InstancePair& a, const InstancePair& b) {
-              if (a.similarity != b.similarity)
-                return a.similarity < b.similarity;
-              if (a.left_id != b.left_id) return a.left_id < b.left_id;
-              return a.right_id < b.right_id;
-            });
+  std::sort(pairs_.begin(), pairs_.end(), PairLess);
+}
+
+bool Workload::MergeSorted(std::vector<InstancePair> incoming) {
+  assert(std::is_sorted(pairs_.begin(), pairs_.end(), PairLess));
+  if (incoming.empty()) return true;
+  std::sort(incoming.begin(), incoming.end(), PairLess);
+  const bool pure_append =
+      pairs_.empty() || !PairLess(incoming.front(), pairs_.back());
+  const size_t old_size = pairs_.size();
+  pairs_.insert(pairs_.end(), std::make_move_iterator(incoming.begin()),
+                std::make_move_iterator(incoming.end()));
+  if (!pure_append) {
+    std::inplace_merge(pairs_.begin(),
+                       pairs_.begin() + static_cast<ptrdiff_t>(old_size),
+                       pairs_.end(), PairLess);
+  }
+  return pure_append;
 }
 
 size_t Workload::CountMatches() const {

@@ -25,6 +25,13 @@ struct InstancePair {
   bool is_match = false;
 };
 
+/// Strict ordering every sorted workload obeys: ascending similarity with
+/// the (left_id, right_id) pair breaking ties. A total order whenever no two
+/// pairs share similarity AND both ids, which makes the sorted sequence
+/// unique — the property the streaming merge path relies on to reproduce a
+/// from-scratch sort exactly.
+bool PairLess(const InstancePair& a, const InstancePair& b);
+
 /// An ER workload D = {d_1..d_n}, sorted ascending by similarity.
 class Workload {
  public:
@@ -34,6 +41,18 @@ class Workload {
   /// Sorts pairs ascending by similarity (stable; id pair breaks ties
   /// deterministically).
   void SortBySimilarity();
+
+  /// Merges `incoming` (arbitrary order) into this already-sorted workload:
+  /// the incoming block is sorted on its own (O(m log m)) and then merged
+  /// in place against the existing pairs (O(n + m)) under PairLess — the
+  /// result is exactly what SortBySimilarity would produce on the
+  /// concatenation, without the O((n+m) log (n+m)) re-sort. This is the
+  /// epoch-ingest path of the streaming resolver. Returns true when the
+  /// merge was a pure tail append (every incoming pair ordered after every
+  /// existing one), in which case all pre-existing pair indices are
+  /// unchanged and index-keyed state (oracle answers, subset statistics)
+  /// stays valid.
+  bool MergeSorted(std::vector<InstancePair> incoming);
 
   size_t size() const { return pairs_.size(); }
   bool empty() const { return pairs_.empty(); }

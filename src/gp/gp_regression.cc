@@ -1,5 +1,6 @@
 #include "gp/gp_regression.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -297,6 +298,26 @@ std::vector<GpCandidate> DefaultGpGrid() {
     for (double l : {0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
       grid.push_back({sf2, l});
     }
+  }
+  return grid;
+}
+
+std::vector<GpCandidate> GapGuardedGrid(const std::vector<double>& xs) {
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  double max_gap = 0.0;
+  for (size_t t = 1; t < sorted.size(); ++t)
+    max_gap = std::max(max_gap, sorted[t] - sorted[t - 1]);
+  const double min_length_scale = 1.5 * max_gap;
+  std::vector<GpCandidate> grid;
+  for (const GpCandidate& cand : DefaultGpGrid()) {
+    if (cand.length_scale >= min_length_scale) grid.push_back(cand);
+  }
+  if (grid.empty()) {
+    // Gaps exceed every stock scale: fall back to scales proportional to
+    // the gap itself.
+    for (double sf2 : {0.01, 0.25, 1.0})
+      grid.push_back({sf2, min_length_scale});
   }
   return grid;
 }

@@ -123,6 +123,13 @@ class GpRegression {
   /// Number of training observations the posterior conditions on.
   size_t num_training_points() const { return x_.size(); }
 
+  /// Training inputs/targets in insertion order (original, uncentered
+  /// observations). Streaming consumers compare these against a candidate
+  /// training set to decide between ExtendedWith (old set is a prefix of
+  /// the new one) and a from-scratch refit.
+  const std::vector<double>& training_inputs() const { return x_; }
+  const std::vector<double>& training_targets() const { return y_; }
+
  private:
   GpRegression() = default;
 
@@ -162,5 +169,15 @@ Result<GpRegression> SelectGpByMarginalLikelihood(
 
 /// A sensible default grid for similarity inputs in [0,1].
 std::vector<GpCandidate> DefaultGpGrid();
+
+/// DefaultGpGrid() restricted to length scales of at least 1.5x the largest
+/// gap between adjacent training inputs (`xs` in any order; a sorted copy is
+/// taken). A shorter scale would interpolate the training points perfectly
+/// yet predict at full prior variance inside every gap — useless exactly
+/// where no evidence is. When every stock scale is below the threshold, a
+/// small fallback grid proportional to the gap itself is returned. Shared
+/// by the SAMP certification fit and the streaming provisional fit so the
+/// two models can never diverge on this guard.
+std::vector<GpCandidate> GapGuardedGrid(const std::vector<double>& xs);
 
 }  // namespace humo::gp

@@ -43,6 +43,18 @@
 ///                                             // do NOT ApplySolution after
 ///   // outcome->resolution.labels, outcome->inspection.pairs_machine_labeled
 ///
+/// When the workload ARRIVES over time instead of sitting in one file, the
+/// streaming resolver (core/streaming_resolver.h) ingests it in epochs —
+/// merge, partition upkeep, and provisional GP serving state are all
+/// incremental and oracle-free — and certifies lazily on demand, reusing
+/// every answer earlier epochs paid for:
+///
+///   data::WorkloadStream stream(&w, {/*num_shards=*/8});
+///   core::StreamingResolver streaming({}, req);
+///   data::Shard shard;
+///   while (stream.Next(&shard)) streaming.Ingest(std::move(shard));
+///   auto cert = streaming.Certify();  // == the one-shot result, bit for bit
+///
 /// Machine-side heavy paths (GP kernel matrices, Cholesky factorization,
 /// workload simulation) run on a thread pool sized by the HUMO_NUM_THREADS
 /// environment variable (default: hardware concurrency); results are
@@ -71,6 +83,7 @@
 #include "core/risk_aware_optimizer.h"
 #include "core/risk_model.h"
 #include "core/solution.h"
+#include "core/streaming_resolver.h"
 #include "data/blocking.h"
 #include "data/logistic_generator.h"
 #include "data/pair_simulator.h"
@@ -80,6 +93,7 @@
 #include "data/publication_generator.h"
 #include "data/record.h"
 #include "data/workload.h"
+#include "data/workload_stream.h"
 #include "eval/evaluation.h"
 #include "eval/experiment.h"
 #include "eval/report.h"

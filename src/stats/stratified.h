@@ -61,4 +61,19 @@ StratifiedEstimate CombineStrata(const std::vector<Stratum>& strata);
 /// Mean match proportion of the union (R bar of the paper) = total_mean / N.
 double UnionProportion(const StratifiedEstimate& est);
 
+/// Splits a total sampling budget across strata proportionally to their
+/// populations (largest-remainder rounding, index-ordered tie-break), with
+/// two invariants the caller can rely on exactly:
+///   * allocation[i] <= strata[i].population for every stratum (overflow is
+///     redistributed to strata with remaining headroom), and
+///   * sum(allocation) == min(budget, total population).
+/// Deterministic for a given input. A budget-splitting helper for
+/// epoch-batched sampling plans (how many of a shard's human questions
+/// land in each subset); not yet consumed by an optimizer — the exact-sum
+/// and cap invariants are locked by tests/property/ so a future caller can
+/// rely on them. Existing sample_size/sample_positives fields are ignored —
+/// only populations matter.
+std::vector<size_t> AllocateSamples(const std::vector<Stratum>& strata,
+                                    size_t budget);
+
 }  // namespace humo::stats

@@ -99,5 +99,80 @@ TEST(OracleTest, ZeroErrorRateIsExact) {
     EXPECT_EQ(oracle.Label(i), w[i].is_match);
 }
 
+TEST(OracleTest, PreloadIsFreeAndServedFromMemory) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  oracle.Preload(3, true);
+  oracle.Preload(7, false);
+  EXPECT_EQ(oracle.cost(), 0u);
+  EXPECT_EQ(oracle.preloaded(), 2u);
+  EXPECT_EQ(oracle.total_requests(), 0u);
+  EXPECT_TRUE(oracle.WasAsked(3));
+  EXPECT_TRUE(oracle.WasAsked(7));
+  EXPECT_FALSE(oracle.WasAsked(4));
+  // A preloaded answer wins over the ground truth — it records what the
+  // human actually said when the pair was originally inspected.
+  EXPECT_TRUE(oracle.CachedAnswer(3));
+  EXPECT_FALSE(oracle.CachedAnswer(7));
+  EXPECT_TRUE(oracle.Label(3));
+  EXPECT_EQ(oracle.cost(), 0u);  // served from memory, still free
+  EXPECT_EQ(oracle.total_requests(), 1u);
+}
+
+TEST(OracleTest, PreloadDoesNotDoubleCountOrOverride) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  EXPECT_TRUE(oracle.Label(6));  // fresh inspection first
+  oracle.Preload(6, false);      // no-op: an answer already exists
+  EXPECT_EQ(oracle.preloaded(), 0u);
+  EXPECT_EQ(oracle.cost(), 1u);
+  EXPECT_TRUE(oracle.CachedAnswer(6));
+  oracle.Preload(2, true);
+  oracle.Preload(2, false);  // second preload of the same pair: no-op
+  EXPECT_EQ(oracle.preloaded(), 1u);
+  EXPECT_TRUE(oracle.CachedAnswer(2));
+}
+
+TEST(OracleTest, CostCountsOnlyFreshInspectionsNextToPreloads) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  oracle.Preload(0, false);
+  oracle.Preload(1, true);
+  const size_t matches = oracle.InspectRange(0, 5);
+  // Pairs 0/1 served from preloads (1 true), 2-4 fresh (is_match false).
+  EXPECT_EQ(matches, 1u);
+  EXPECT_EQ(oracle.cost(), 3u);
+  EXPECT_EQ(oracle.preloaded(), 2u);
+  EXPECT_EQ(oracle.CostFraction(), 0.3);
+}
+
+TEST(OracleTest, AnswerSnapshotIsSortedAndComplete) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  oracle.Label(8);
+  oracle.Label(1);
+  oracle.Preload(5, true);
+  const auto snapshot = oracle.AnswerSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, 1u);
+  EXPECT_EQ(snapshot[1].first, 5u);
+  EXPECT_EQ(snapshot[2].first, 8u);
+  EXPECT_FALSE(snapshot[0].second);  // pair 1 is an unmatch
+  EXPECT_TRUE(snapshot[1].second);   // preloaded answer
+  EXPECT_TRUE(snapshot[2].second);   // pair 8 is a match
+}
+
+TEST(OracleTest, ResetClearsPreloads) {
+  const data::Workload w = SmallWorkload();
+  Oracle oracle(&w);
+  oracle.Preload(5, true);
+  oracle.Label(6);
+  oracle.Reset();
+  EXPECT_EQ(oracle.cost(), 0u);
+  EXPECT_EQ(oracle.preloaded(), 0u);
+  EXPECT_EQ(oracle.total_requests(), 0u);
+  EXPECT_FALSE(oracle.WasAsked(5));
+}
+
 }  // namespace
 }  // namespace humo::core

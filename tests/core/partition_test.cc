@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "data/logistic_generator.h"
 
 namespace humo::core {
@@ -91,6 +92,73 @@ TEST(PartitionTest, EmptyWorkload) {
   const data::Workload w;
   SubsetPartition p(&w, 100);
   EXPECT_EQ(p.num_subsets(), 0u);
+}
+
+void ExpectBitwiseEqual(const SubsetPartition& a, const SubsetPartition& b) {
+  ASSERT_EQ(a.num_subsets(), b.num_subsets());
+  for (size_t k = 0; k < a.num_subsets(); ++k) {
+    EXPECT_EQ(a[k].begin, b[k].begin) << k;
+    EXPECT_EQ(a[k].end, b[k].end) << k;
+    EXPECT_EQ(a[k].avg_similarity, b[k].avg_similarity) << k;
+  }
+}
+
+TEST(PartitionRebuildTest, RebuildMatchesFreshConstructionAfterInteriorMerge) {
+  Rng rng(31);
+  for (int rep = 0; rep < 10; ++rep) {
+    data::Workload w = UniformWorkload(400 + rep * 57);
+    SubsetPartition p(&w, 100);
+    std::vector<data::InstancePair> extra;
+    for (uint32_t i = 0; i < 150; ++i) {
+      extra.push_back({5000 + i, i, rng.NextDouble(), rng.NextBernoulli(0.3)});
+    }
+    w.MergeSorted(std::move(extra));
+    p.Rebuild();
+    ExpectBitwiseEqual(p, SubsetPartition(&w, 100));
+  }
+}
+
+TEST(PartitionRebuildTest, RebuildTailMatchesFreshConstructionAfterAppend) {
+  Rng rng(37);
+  for (int rep = 0; rep < 10; ++rep) {
+    data::Workload w = UniformWorkload(350 + rep * 41);
+    SubsetPartition p(&w, 100);
+    const size_t preserved =
+        w.size() / 100 >= 1 ? w.size() / 100 - 1 : 0;
+    std::vector<data::InstancePair> extra;
+    for (uint32_t i = 0; i < 130; ++i) {
+      // Similarities strictly above the existing range: a pure tail append.
+      extra.push_back({6000 + i, i, 1.0 + rng.NextDouble(), false});
+    }
+    ASSERT_TRUE(w.MergeSorted(std::move(extra)));
+    p.RebuildTail(preserved);
+    ExpectBitwiseEqual(p, SubsetPartition(&w, 100));
+  }
+}
+
+TEST(PartitionRebuildTest, RebuildTailFromSingleAbsorbingSubset) {
+  data::Workload w = UniformWorkload(60);  // below one subset
+  SubsetPartition p(&w, 100);
+  ASSERT_EQ(p.num_subsets(), 1u);
+  std::vector<data::InstancePair> extra;
+  for (uint32_t i = 0; i < 180; ++i) {
+    extra.push_back({7000 + i, i, 1.0 + 0.001 * static_cast<double>(i),
+                     false});
+  }
+  ASSERT_TRUE(w.MergeSorted(std::move(extra)));
+  p.RebuildTail(0);
+  ExpectBitwiseEqual(p, SubsetPartition(&w, 100));
+  EXPECT_EQ(p.num_subsets(), 2u);
+}
+
+TEST(PartitionRebuildTest, RebuildOnShrunkToEmptyWorkload) {
+  data::Workload w = UniformWorkload(250);
+  SubsetPartition p(&w, 100);
+  data::Workload empty;
+  SubsetPartition q(&empty, 100);
+  q.Rebuild();
+  EXPECT_EQ(q.num_subsets(), 0u);
+  (void)p;
 }
 
 }  // namespace

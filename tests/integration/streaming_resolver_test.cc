@@ -1,0 +1,373 @@
+#include "core/streaming_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/partial_sampling_optimizer.h"
+#include "core/solution.h"
+#include "data/pair_simulator.h"
+#include "data/workload_stream.h"
+#include "eval/evaluation.h"
+
+namespace humo {
+namespace {
+
+/// The streaming headline contracts (ISSUE 4): ingesting a whole stream and
+/// certifying once must reproduce the one-shot run on the concatenated
+/// workload bit for bit — partition, labeling, solution, and oracle cost —
+/// at any shard count, arrival order, and thread count, with zero duplicate
+/// oracle requests across epochs; re-certification after growth must reuse
+/// every carried answer.
+class StreamingResolverTest : public ::testing::Test {
+ protected:
+  static data::Workload ds_;
+
+  static void SetUpTestSuite() {
+    ds_ = data::SimulatePairs(data::DsConfigSmall(555, 12000));
+  }
+};
+
+data::Workload StreamingResolverTest::ds_;
+
+struct OneShotRun {
+  core::HumoSolution solution;
+  core::ResolutionResult resolution;
+  size_t cost = 0;
+  size_t duplicates = 0;
+};
+
+OneShotRun RunOneShotSamp(const data::Workload& w,
+                          const core::QualityRequirement& req,
+                          const core::PartialSamplingOptions& sampling,
+                          size_t subset_size) {
+  core::SubsetPartition partition(&w, subset_size);
+  core::Oracle oracle(&w);
+  core::EstimationContext ctx(&partition, &oracle);
+  core::PartialSamplingOptimizer samp(sampling);
+  auto sol = samp.Optimize(&ctx, req);
+  EXPECT_TRUE(sol.ok()) << sol.status().message();
+  OneShotRun run;
+  run.solution = *sol;
+  run.resolution = core::ApplySolution(partition, *sol, &oracle);
+  run.cost = oracle.cost();
+  run.duplicates = oracle.duplicate_requests();
+  return run;
+}
+
+core::StreamingOptions DefaultStreamingOptions() {
+  core::StreamingOptions options;
+  options.sampling.seed = 21;
+  return options;
+}
+
+void ExpectSolutionsEqual(const core::HumoSolution& a,
+                          const core::HumoSolution& b) {
+  EXPECT_EQ(a.empty, b.empty);
+  EXPECT_EQ(a.h_lo, b.h_lo);
+  EXPECT_EQ(a.h_hi, b.h_hi);
+}
+
+void ExpectPartitionMatchesFresh(const core::SubsetPartition& streamed,
+                                 const data::Workload& base,
+                                 size_t subset_size) {
+  core::SubsetPartition fresh(&base, subset_size);
+  ASSERT_EQ(streamed.num_subsets(), fresh.num_subsets());
+  for (size_t k = 0; k < fresh.num_subsets(); ++k) {
+    EXPECT_EQ(streamed[k].begin, fresh[k].begin);
+    EXPECT_EQ(streamed[k].end, fresh[k].end);
+    // Bitwise: the rebuild paths accumulate in the constructor's order.
+    EXPECT_EQ(streamed[k].avg_similarity, fresh[k].avg_similarity) << k;
+  }
+}
+
+TEST_F(StreamingResolverTest, CertifyOnceIsBitIdenticalToOneShot) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  const core::StreamingOptions options = DefaultStreamingOptions();
+  const OneShotRun oneshot =
+      RunOneShotSamp(ds_, req, options.sampling, options.subset_size);
+
+  for (const size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+    for (const data::ArrivalOrder order :
+         {data::ArrivalOrder::kShuffled,
+          data::ArrivalOrder::kSimilarityAscending}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " order=" + std::to_string(static_cast<int>(order)));
+      data::WorkloadStreamOptions stream_options;
+      stream_options.num_shards = shards;
+      stream_options.order = order;
+      data::WorkloadStream stream(&ds_, stream_options);
+
+      core::StreamingResolver resolver(options, req);
+      data::Shard shard;
+      while (stream.Next(&shard)) resolver.Ingest(std::move(shard));
+      ASSERT_EQ(resolver.cumulative().size(), ds_.size());
+
+      auto cert = resolver.Certify();
+      ASSERT_TRUE(cert.ok()) << cert.status().message();
+
+      ExpectPartitionMatchesFresh(resolver.partition(), ds_,
+                                  options.subset_size);
+      ExpectSolutionsEqual(cert->solution, oneshot.solution);
+      EXPECT_EQ(cert->resolution.labels, oneshot.resolution.labels);
+      EXPECT_EQ(cert->fresh_inspections, oneshot.cost);
+      EXPECT_EQ(cert->total_inspections, oneshot.cost);
+      EXPECT_EQ(cert->reused_answers, 0u);
+      EXPECT_TRUE(cert->certified);
+      EXPECT_EQ(resolver.total_duplicate_requests(), 0u);
+    }
+  }
+}
+
+TEST_F(StreamingResolverTest, ThreadCountInvariance) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  const core::StreamingOptions options = DefaultStreamingOptions();
+
+  std::vector<int> labels_at_1;
+  core::HumoSolution solution_at_1;
+  size_t cost_at_1 = 0;
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool::SetGlobalThreads(threads);
+    data::WorkloadStreamOptions stream_options;
+    stream_options.num_shards = 4;
+    data::WorkloadStream stream(&ds_, stream_options);
+    core::StreamingResolver resolver(options, req);
+    data::Shard shard;
+    while (stream.Next(&shard)) resolver.Ingest(std::move(shard));
+    auto cert = resolver.Certify();
+    ASSERT_TRUE(cert.ok());
+    if (threads == 1) {
+      labels_at_1 = cert->resolution.labels;
+      solution_at_1 = cert->solution;
+      cost_at_1 = cert->fresh_inspections;
+    } else {
+      ExpectSolutionsEqual(cert->solution, solution_at_1);
+      EXPECT_EQ(cert->resolution.labels, labels_at_1);
+      EXPECT_EQ(cert->fresh_inspections, cost_at_1);
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);  // restore the environment default
+}
+
+TEST_F(StreamingResolverTest, RecertifyAfterGrowthMatchesOneShotAndReuses) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  const core::StreamingOptions options = DefaultStreamingOptions();
+  data::WorkloadStreamOptions stream_options;
+  stream_options.num_shards = 4;
+  stream_options.order = data::ArrivalOrder::kShuffled;
+  data::WorkloadStream stream(&ds_, stream_options);
+
+  core::StreamingResolver resolver(options, req);
+  data::Shard shard;
+  for (size_t e = 0; e < 2; ++e) {
+    ASSERT_TRUE(stream.Next(&shard));
+    resolver.Ingest(std::move(shard));
+  }
+  auto first = resolver.Certify();
+  ASSERT_TRUE(first.ok());
+  const size_t first_cost = first->fresh_inspections;
+  EXPECT_GT(first_cost, 0u);
+
+  // Mid-stream certificate holds on the pairs seen so far.
+  const auto mid_quality =
+      eval::QualityOf(resolver.cumulative(), first->resolution.labels);
+  EXPECT_GE(mid_quality.precision, 0.88);
+  EXPECT_GE(mid_quality.recall, 0.88);
+
+  while (stream.Next(&shard)) resolver.Ingest(std::move(shard));
+  auto second = resolver.Certify();
+  ASSERT_TRUE(second.ok());
+
+  // An interior merge re-keys the evidence; the second certification then
+  // walks exactly the one-shot path (same RNG draws, same answers) and is
+  // bit-identical to the cold run on the grown workload — but pays only
+  // for pairs no earlier epoch answered.
+  const OneShotRun oneshot =
+      RunOneShotSamp(ds_, req, options.sampling, options.subset_size);
+  ExpectSolutionsEqual(second->solution, oneshot.solution);
+  EXPECT_EQ(second->resolution.labels, oneshot.resolution.labels);
+  EXPECT_LT(second->fresh_inspections, oneshot.cost);
+  EXPECT_GT(second->reused_answers, 0u);
+  EXPECT_EQ(second->total_inspections,
+            first_cost + second->fresh_inspections);
+  EXPECT_EQ(resolver.total_duplicate_requests(), 0u);
+}
+
+TEST_F(StreamingResolverTest, PureAppendStreamCarriesStateAcrossEpochs) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  const core::StreamingOptions options = DefaultStreamingOptions();
+  data::WorkloadStreamOptions stream_options;
+  stream_options.num_shards = 4;
+  stream_options.order = data::ArrivalOrder::kSimilarityAscending;
+  data::WorkloadStream stream(&ds_, stream_options);
+
+  core::StreamingResolver resolver(options, req);
+  data::Shard shard;
+  for (size_t e = 0; e < 2; ++e) {
+    ASSERT_TRUE(stream.Next(&shard));
+    const core::EpochReport& report = resolver.Ingest(std::move(shard));
+    EXPECT_TRUE(report.pure_append);
+    ExpectPartitionMatchesFresh(resolver.partition(), resolver.cumulative(),
+                                options.subset_size);
+  }
+  auto first = resolver.Certify();
+  ASSERT_TRUE(first.ok());
+  const size_t first_cost = first->fresh_inspections;
+
+  while (stream.Next(&shard)) {
+    const core::EpochReport& report = resolver.Ingest(std::move(shard));
+    EXPECT_TRUE(report.pure_append);
+    // Appends never invalidate the carried answers.
+    EXPECT_EQ(report.evidence_pairs, first_cost);
+  }
+  auto second = resolver.Certify();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->certified);
+  // Carried subset statistics + answers make regrowing the certificate
+  // cheaper than the cold one-shot run on the grown workload.
+  const OneShotRun oneshot =
+      RunOneShotSamp(ds_, req, options.sampling, options.subset_size);
+  EXPECT_LT(second->fresh_inspections, oneshot.cost);
+  EXPECT_EQ(resolver.total_duplicate_requests(), 0u);
+  // The provisional GP extended its factor at least once along the way
+  // (new fully-enumerated subsets appended to an intact training set).
+  EXPECT_GE(resolver.provisional_gp_extensions() +
+                resolver.provisional_gp_grid_fits(),
+            1u);
+  // Final quality still meets the requirement on this realization.
+  const auto quality =
+      eval::QualityOf(resolver.cumulative(), second->resolution.labels);
+  EXPECT_GE(quality.precision, 0.88);
+  EXPECT_GE(quality.recall, 0.88);
+}
+
+TEST_F(StreamingResolverTest, HybrCertifierMatchesOneShotHybrAndCostsAtMostSamp) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  core::StreamingOptions options = DefaultStreamingOptions();
+  options.certifier = core::StreamCertifier::kHybr;
+  data::WorkloadStreamOptions stream_options;
+  stream_options.num_shards = 4;
+  data::WorkloadStream stream(&ds_, stream_options);
+
+  core::StreamingResolver resolver(options, req);
+  data::Shard shard;
+  while (stream.Next(&shard)) resolver.Ingest(std::move(shard));
+  auto cert = resolver.Certify();
+  ASSERT_TRUE(cert.ok()) << cert.status().message();
+  EXPECT_TRUE(cert->certified);
+  EXPECT_EQ(resolver.total_duplicate_requests(), 0u);
+
+  // Bit-identical to the one-shot HYBR run on the concatenated workload.
+  core::SubsetPartition partition(&ds_, options.subset_size);
+  core::Oracle oracle(&ds_);
+  core::EstimationContext ctx(&partition, &oracle);
+  core::HybridOptions hybrid = options.hybrid;
+  hybrid.sampling = options.sampling;
+  auto oneshot_sol = core::HybridOptimizer(hybrid).Optimize(&ctx, req);
+  ASSERT_TRUE(oneshot_sol.ok());
+  const auto oneshot_res = core::ApplySolution(partition, *oneshot_sol, &oracle);
+  ExpectSolutionsEqual(cert->solution, *oneshot_sol);
+  EXPECT_EQ(cert->resolution.labels, oneshot_res.labels);
+  EXPECT_EQ(cert->total_inspections, oracle.cost());
+
+  // HYBR never exceeds SAMP's budget (§VII), streamed or not.
+  const OneShotRun samp =
+      RunOneShotSamp(ds_, req, options.sampling, options.subset_size);
+  EXPECT_LE(cert->total_inspections, samp.cost);
+}
+
+TEST_F(StreamingResolverTest, RiskCertifierCostsAtMostOneShotSamp) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  core::StreamingOptions options = DefaultStreamingOptions();
+  options.certifier = core::StreamCertifier::kRisk;
+  data::WorkloadStreamOptions stream_options;
+  stream_options.num_shards = 4;
+  data::WorkloadStream stream(&ds_, stream_options);
+
+  core::StreamingResolver resolver(options, req);
+  data::Shard shard;
+  while (stream.Next(&shard)) resolver.Ingest(std::move(shard));
+  auto cert = resolver.Certify();
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(cert->certified);
+
+  const OneShotRun oneshot =
+      RunOneShotSamp(ds_, req, options.sampling, options.subset_size);
+  EXPECT_LE(cert->total_inspections, oneshot.cost);
+  EXPECT_EQ(resolver.total_duplicate_requests(), 0u);
+  const auto quality =
+      eval::QualityOf(resolver.cumulative(), cert->resolution.labels);
+  EXPECT_GE(quality.precision, 0.88);
+  EXPECT_GE(quality.recall, 0.88);
+}
+
+TEST_F(StreamingResolverTest, ProvisionalServingStateAfterCertification) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  const core::StreamingOptions options = DefaultStreamingOptions();
+  data::WorkloadStreamOptions stream_options;
+  stream_options.num_shards = 6;
+  data::WorkloadStream stream(&ds_, stream_options);
+
+  core::StreamingResolver resolver(options, req);
+  data::Shard shard;
+  for (size_t e = 0; e < 3; ++e) {
+    ASSERT_TRUE(stream.Next(&shard));
+    const core::EpochReport& report = resolver.Ingest(std::move(shard));
+    // No evidence yet: ingest is oracle-free, so no estimate either.
+    EXPECT_FALSE(report.has_estimate);
+    EXPECT_EQ(report.evidence_pairs, 0u);
+  }
+  ASSERT_TRUE(resolver.Certify().ok());
+
+  bool saw_estimate = false;
+  while (stream.Next(&shard)) {
+    const core::EpochReport& report = resolver.Ingest(std::move(shard));
+    EXPECT_GT(report.evidence_pairs, 0u);
+    if (report.has_estimate) {
+      saw_estimate = true;
+      EXPECT_GT(report.est_precision, 0.0);
+      EXPECT_LE(report.est_precision, 1.0);
+      EXPECT_GT(report.est_recall, 0.0);
+      EXPECT_LE(report.est_recall, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_estimate);
+  // The provisional labeling (carried answers + GP machine labels) is a
+  // usable serving surface between certifications on this realization.
+  ASSERT_EQ(resolver.provisional_labels().size(), resolver.cumulative().size());
+  const auto quality =
+      eval::QualityOf(resolver.cumulative(), resolver.provisional_labels());
+  EXPECT_GE(quality.precision, 0.6);
+  EXPECT_GE(quality.recall, 0.6);
+}
+
+TEST_F(StreamingResolverTest, EdgeCases) {
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+  core::StreamingResolver resolver(DefaultStreamingOptions(), req);
+
+  // Certifying before any data is an error, not a crash.
+  EXPECT_FALSE(resolver.Certify().ok());
+
+  // Empty shards are no-ops that still produce reports; all index-keyed
+  // state trivially survives, which pure_append reflects.
+  const core::EpochReport& empty = resolver.Ingest(data::Shard{});
+  EXPECT_EQ(empty.pairs_total, 0u);
+  EXPECT_EQ(empty.num_subsets, 0u);
+  EXPECT_TRUE(empty.pure_append);
+
+  // A shard smaller than one subset still forms a valid partition.
+  data::Shard tiny;
+  tiny.epoch = 1;
+  for (uint32_t i = 0; i < 5; ++i) {
+    tiny.pairs.push_back({i, i + 100, 0.1 * static_cast<double>(i + 1),
+                          i >= 3});
+  }
+  const core::EpochReport& report = resolver.Ingest(std::move(tiny));
+  EXPECT_EQ(report.pairs_total, 5u);
+  EXPECT_EQ(report.num_subsets, 1u);
+  EXPECT_EQ(resolver.provisional_labels().size(), 5u);
+}
+
+}  // namespace
+}  // namespace humo

@@ -132,6 +132,122 @@ TEST(StratifiedPropertyTest, BoundsAlwaysBracketMean) {
   }
 }
 
+/// Randomized interval properties: on several hundred (positives, n) draws,
+/// the Wilson and Beta-posterior intervals must bracket the MLE k/n and
+/// widen monotonically in confidence.
+TEST(IntervalRandomPropertyTest, WilsonAndBetaBracketTheMle) {
+  Rng rng(2024);
+  for (int rep = 0; rep < 300; ++rep) {
+    const size_t n = 1 + rng.NextBelow(2000);
+    const size_t k = rng.NextBelow(n + 1);
+    const double mle = static_cast<double>(k) / static_cast<double>(n);
+    for (double conf : {0.5, 0.8, 0.9, 0.95, 0.99}) {
+      const auto wilson = WilsonInterval(k, n, conf);
+      EXPECT_LE(wilson.lo, mle + 1e-12) << "k=" << k << " n=" << n;
+      EXPECT_GE(wilson.hi, mle - 1e-12) << "k=" << k << " n=" << n;
+      const auto beta = BetaPosteriorInterval(k, n, conf);
+      // The uniform-prior posterior mode is the MLE; the equal-tailed
+      // interval must straddle it except in the degenerate k=0 / k=n
+      // corners where the interval is one-sided by construction.
+      if (k > 0 && k < n) {
+        EXPECT_LE(beta.lo, mle + 1e-9) << "k=" << k << " n=" << n;
+        EXPECT_GE(beta.hi, mle - 1e-9) << "k=" << k << " n=" << n;
+      }
+      EXPECT_LE(beta.lo, beta.hi);
+      EXPECT_GE(beta.lo, 0.0);
+      EXPECT_LE(beta.hi, 1.0);
+    }
+  }
+}
+
+TEST(IntervalRandomPropertyTest, IntervalsWidenMonotonicallyInConfidence) {
+  Rng rng(77);
+  for (int rep = 0; rep < 300; ++rep) {
+    const size_t n = 2 + rng.NextBelow(1000);
+    const size_t k = rng.NextBelow(n + 1);
+    double prev_wilson = -1.0, prev_beta = -1.0;
+    for (double conf : {0.5, 0.7, 0.9, 0.99}) {
+      const auto wilson = WilsonInterval(k, n, conf);
+      const double w_width = wilson.hi - wilson.lo;
+      EXPECT_GE(w_width + 1e-12, prev_wilson)
+          << "k=" << k << " n=" << n << " conf=" << conf;
+      prev_wilson = w_width;
+      const auto beta = BetaPosteriorInterval(k, n, conf);
+      const double b_width = beta.hi - beta.lo;
+      EXPECT_GE(b_width + 1e-9, prev_beta)
+          << "k=" << k << " n=" << n << " conf=" << conf;
+      prev_beta = b_width;
+    }
+  }
+}
+
+TEST(IntervalRandomPropertyTest, BetaTailBoundsBracketTheInterval) {
+  Rng rng(303);
+  for (int rep = 0; rep < 200; ++rep) {
+    const size_t n = 1 + rng.NextBelow(500);
+    const size_t k = rng.NextBelow(n + 1);
+    const double upper = BetaPosteriorUpperBound(k, n, 0.95);
+    const double lower = BetaPosteriorLowerBound(k, n, 0.95);
+    EXPECT_LE(lower, upper) << "k=" << k << " n=" << n;
+    EXPECT_GE(lower, 0.0);
+    EXPECT_LE(upper, 1.0);
+  }
+}
+
+/// AllocateSamples invariants over randomized strata: the allocation sums
+/// EXACTLY to min(budget, total population), never exceeds any stratum's
+/// population, and is deterministic.
+TEST(AllocationPropertyTest, SumsExactlyToBudget) {
+  Rng rng(11);
+  for (int rep = 0; rep < 300; ++rep) {
+    std::vector<Stratum> strata(1 + rng.NextBelow(12));
+    size_t total_pop = 0;
+    for (auto& s : strata) {
+      s.population = rng.NextBelow(400);  // empty strata allowed
+      total_pop += s.population;
+    }
+    const size_t budget = rng.NextBelow(total_pop + 200);
+    const auto alloc = AllocateSamples(strata, budget);
+    ASSERT_EQ(alloc.size(), strata.size());
+    size_t sum = 0;
+    for (size_t i = 0; i < alloc.size(); ++i) {
+      EXPECT_LE(alloc[i], strata[i].population) << "rep " << rep;
+      sum += alloc[i];
+    }
+    EXPECT_EQ(sum, std::min(budget, total_pop)) << "rep " << rep;
+  }
+}
+
+TEST(AllocationPropertyTest, DeterministicAndProportionalOnEqualStrata) {
+  std::vector<Stratum> strata(4);
+  for (auto& s : strata) s.population = 100;
+  const auto a = AllocateSamples(strata, 202);
+  const auto b = AllocateSamples(strata, 202);
+  EXPECT_EQ(a, b);
+  // 202 over four equal strata: two get 51, two get 50 (index-ordered
+  // remainder tie-break), never anything wilder.
+  size_t sum = 0;
+  for (size_t v : a) {
+    EXPECT_GE(v, 50u);
+    EXPECT_LE(v, 51u);
+    sum += v;
+  }
+  EXPECT_EQ(sum, 202u);
+}
+
+TEST(AllocationPropertyTest, CapsAtPopulationAndRedistributes) {
+  std::vector<Stratum> strata(3);
+  strata[0].population = 5;
+  strata[1].population = 1000;
+  strata[2].population = 10;
+  const auto alloc = AllocateSamples(strata, 900);
+  EXPECT_LE(alloc[0], 5u);
+  EXPECT_LE(alloc[2], 10u);
+  EXPECT_EQ(alloc[0] + alloc[1] + alloc[2], 900u);
+  // The big stratum absorbs what the capped ones cannot take.
+  EXPECT_GE(alloc[1], 885u);
+}
+
 TEST(NormalPropertyTest, CriticalValueMonotoneInConfidence) {
   double prev = 0.0;
   for (double conf = 0.5; conf < 0.999; conf += 0.05) {
