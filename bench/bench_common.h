@@ -73,10 +73,10 @@ inline eval::ExperimentSummary RunHybr(const core::SubsetPartition& p,
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {
-  std::printf("================================================================\n");
+  std::printf("============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper.c_str());
-  std::printf("================================================================\n\n");
+  std::printf("============================================================\n\n");
 }
 
 }  // namespace humo::bench

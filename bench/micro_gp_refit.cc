@@ -170,7 +170,8 @@ int RunSize(size_t n, size_t rounds, size_t queries, size_t reps,
     const double t0 = NowMs();
     for (size_t j = 0; j < queries; ++j) per_point[j] = gp_model.Predict(qs[j]);
     out->predict_per_point_ms =
-        rep == 0 ? NowMs() - t0 : std::min(out->predict_per_point_ms, NowMs() - t0);
+        rep == 0 ? NowMs() - t0
+                 : std::min(out->predict_per_point_ms, NowMs() - t0);
 
     const double t1 = NowMs();
     batched = gp_model.PredictBatch(qs);

@@ -48,7 +48,7 @@ struct Cell {
   double mean_precision = 0.0;
   double mean_recall = 0.0;
   double success_rate = 0.0;
-  double mean_machine_labeled = 0.0;  // DH pairs left to the machine (risk only)
+  double mean_machine_labeled = 0.0;  // DH pairs left to the machine
 };
 
 struct Trial {

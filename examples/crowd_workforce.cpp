@@ -51,9 +51,10 @@ int main() {
                     eval::FmtPercent(crowd.VerdictErrorRate()),
                     eval::Fmt(q.precision), eval::Fmt(q.recall),
                     std::to_string(crowd.worker_answers()),
-                    eval::Fmt(static_cast<double>(crowd.worker_answers()) /
-                                  static_cast<double>(crowd.pairs_adjudicated()),
-                              1)});
+                    eval::Fmt(
+                        static_cast<double>(crowd.worker_answers()) /
+                            static_cast<double>(crowd.pairs_adjudicated()),
+                        1)});
     }
   }
   table.Print();

@@ -80,9 +80,10 @@ Result<CsvDocument> CsvReader::Parse(std::string_view text,
     doc.header = std::move(records[0]);
     start = 1;
   }
-  const size_t width = has_header && !doc.header.empty()
-                           ? doc.header.size()
-                           : (records.size() > start ? records[start].size() : 0);
+  const size_t width =
+      has_header && !doc.header.empty()
+          ? doc.header.size()
+          : (records.size() > start ? records[start].size() : 0);
   for (size_t r = start; r < records.size(); ++r) {
     if (width != 0 && records[r].size() != width) {
       return Status::InvalidArgument(

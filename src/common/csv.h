@@ -26,7 +26,8 @@ class CsvReader {
 
   /// Parses an in-memory CSV payload. When `has_header` is true the first
   /// record becomes `header`, otherwise header is left empty.
-  Result<CsvDocument> Parse(std::string_view text, bool has_header = true) const;
+  Result<CsvDocument> Parse(std::string_view text,
+                            bool has_header = true) const;
 
   /// Reads and parses a file from disk.
   Result<CsvDocument> ReadFile(const std::string& path,

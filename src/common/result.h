@@ -14,7 +14,9 @@ template <typename T>
 class Result {
  public:
   /// Implicit construction from a value (success).
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  // NOLINT below: implicit by design, mirroring absl::StatusOr.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
 
   /// Implicit construction from a non-OK status (error). Constructing a
   /// Result from an OK status is a programming error.

@@ -10,7 +10,8 @@ std::string ToLower(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s)
-    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   return out;
 }
 

@@ -32,6 +32,7 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 std::string NormalizeForMatching(std::string_view s);
 
 /// printf-style formatting into a std::string.
-std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 }  // namespace humo

@@ -52,7 +52,7 @@ Result<HumoSolution> BaselineOptimizer::Optimize(
   size_t dh_matches = ctx->LabelSubset(start);
   size_t dh_pairs = partition[start].size();
 
-  bool precision_fixed = (hi + 1 >= m);  // no D+ -> precision constraint vacuous
+  bool precision_fixed = (hi + 1 >= m);  // no D+ -> precision vacuous
   bool recall_fixed = (lo == 0);         // no D- -> recall constraint vacuous
 
   // Eq. 7 windows are capped both by subset count and by pair count (the

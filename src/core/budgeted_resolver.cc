@@ -60,8 +60,9 @@ Result<HumoSolution> BudgetedResolver::Resolve(const SubsetPartition& partition,
       pairs += partition[k].size();
       matches += subset_matches[k];
     }
-    return pairs == 0 ? 0.0
-                      : static_cast<double>(matches) / static_cast<double>(pairs);
+    return pairs == 0
+               ? 0.0
+               : static_cast<double>(matches) / static_cast<double>(pairs);
   };
   auto upper_error_density = [&]() {
     size_t pairs = 0, unmatches = 0;

@@ -30,10 +30,9 @@ CrowdOracle::CrowdOracle(const data::Workload* workload, CrowdOptions options)
 bool CrowdOracle::Label(size_t index) {
   assert(index < workload_->size());
   ++total_requests_;
-  const auto it = verdicts_.find(index);
-  if (it != verdicts_.end()) return it->second;
+  if (verdicts_.Known(index)) return verdicts_.Answer(index);
 
-  const bool truth = (*workload_)[index].is_match;
+  const bool truth = workload_->IsMatch(index);
   size_t votes_match = 0;
   for (size_t w = 0; w < options_.workers_per_pair; ++w) {
     bool answer = truth;
@@ -45,11 +44,12 @@ bool CrowdOracle::Label(size_t index) {
   worker_answers_ += options_.workers_per_pair;
   const bool verdict = votes_match * 2 > options_.workers_per_pair;
   if (verdict != truth) ++wrong_verdicts_;
-  verdicts_.emplace(index, verdict);
+  verdicts_.Record(index, verdict);
   return verdict;
 }
 
-std::vector<char> CrowdOracle::InspectBatch(const std::vector<size_t>& indices) {
+std::vector<char> CrowdOracle::InspectBatch(
+    const std::vector<size_t>& indices) {
   std::vector<char> verdicts(indices.size());
   for (size_t t = 0; t < indices.size(); ++t) {
     verdicts[t] = Label(indices[t]) ? 1 : 0;
@@ -71,13 +71,13 @@ double CrowdOracle::CostFraction() const {
 }
 
 double CrowdOracle::VerdictErrorRate() const {
-  if (verdicts_.empty()) return 0.0;
+  if (verdicts_.known_count() == 0) return 0.0;
   return static_cast<double>(wrong_verdicts_) /
-         static_cast<double>(verdicts_.size());
+         static_cast<double>(verdicts_.known_count());
 }
 
 void CrowdOracle::Reset() {
-  verdicts_.clear();
+  verdicts_.Clear();
   worker_answers_ = 0;
   wrong_verdicts_ = 0;
   total_requests_ = 0;

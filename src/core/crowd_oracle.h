@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/paged_bitmap.h"
 #include "data/workload.h"
 
 namespace humo::core {
@@ -26,6 +26,10 @@ struct CrowdOptions {
 /// With per-worker error e and 2t+1 workers, the majority verdict errs with
 /// probability sum_{j>t} C(2t+1,j) e^j (1-e)^(2t+1-j) — e.g. e=0.1 with 3
 /// workers gives 2.8% verdict error, with 5 workers 0.86%.
+///
+/// Verdict memory uses the same paged bitmap as core::Oracle, so a crowd
+/// pass over a 10M-pair workload holds megabytes, not the >0.5 GiB an
+/// unordered_map verdict cache would.
 class CrowdOracle {
  public:
   CrowdOracle(const data::Workload* workload, CrowdOptions options = {});
@@ -56,7 +60,7 @@ class CrowdOracle {
   }
 
   /// Distinct pairs adjudicated.
-  size_t pairs_adjudicated() const { return verdicts_.size(); }
+  size_t pairs_adjudicated() const { return verdicts_.known_count(); }
 
   /// Worker answers divided by workload size: the crowd-cost analogue of
   /// the paper's psi.
@@ -71,7 +75,7 @@ class CrowdOracle {
  private:
   const data::Workload* workload_;
   CrowdOptions options_;
-  std::unordered_map<size_t, bool> verdicts_;
+  PagedAnswerBitmap verdicts_;
   size_t worker_answers_ = 0;
   size_t wrong_verdicts_ = 0;
   size_t total_requests_ = 0;

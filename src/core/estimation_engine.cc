@@ -125,7 +125,8 @@ const stats::Stratum& EstimationContext::SampleSubset(size_t k, size_t take,
   ++stats_.stratum_misses;
   // Same draw the historical serial path made, so a fresh context
   // reproduces historical sampling behavior bit-for-bit.
-  const std::vector<size_t> picks = rng->SampleWithoutReplacement(s.size(), take);
+  const std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(s.size(), take);
   stats::Stratum st;
   st.population = s.size();
   st.sample_size = take;

@@ -189,6 +189,8 @@ double GpRangeAccumulator::UpperBound(double confidence) const {
   return std::min(pop_sum_, TotalMean() + z * TotalStdDev());
 }
 
-double GpRangeAccumulator::Population() const { return empty_ ? 0.0 : pop_sum_; }
+double GpRangeAccumulator::Population() const {
+  return empty_ ? 0.0 : pop_sum_;
+}
 
 }  // namespace humo::core

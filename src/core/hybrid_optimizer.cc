@@ -19,8 +19,8 @@ Result<HumoSolution> HybridOptimizer::Optimize(const SubsetPartition& partition,
   return Optimize(&ctx, req);
 }
 
-Result<HumoSolution> HybridOptimizer::Optimize(EstimationContext* ctx,
-                                               const QualityRequirement& req) const {
+Result<HumoSolution> HybridOptimizer::Optimize(
+    EstimationContext* ctx, const QualityRequirement& req) const {
   if (ctx == nullptr)
     return Status::InvalidArgument("estimation context must not be null");
   if (ctx->oracle() == nullptr)
@@ -68,7 +68,8 @@ Result<HumoSolution> HybridOptimizer::Optimize(EstimationContext* ctx,
   //   SAMP:  GP posterior lower bound at confidence sqrt(theta).
   auto precision_ok = [&]() {
     if (hi + 1 >= m) return true;  // D+ empty
-    const double n_dp = static_cast<double>(partition.PairsInRange(hi + 1, m - 1));
+    const double n_dp =
+        static_cast<double>(partition.PairsInRange(hi + 1, m - 1));
     const double lb_base = n_dp * ctx->UpperWindowProportion(lo, hi, w);
     const double lb_samp = dplus.LowerBound(conf);
     const double lb = std::max(lb_base, lb_samp);
@@ -93,7 +94,8 @@ Result<HumoSolution> HybridOptimizer::Optimize(EstimationContext* ctx,
         hi + 1 >= m
             ? 0.0
             : std::max(dplus.LowerBound(conf),
-                       static_cast<double>(partition.PairsInRange(hi + 1, m - 1)) *
+                       static_cast<double>(
+                           partition.PairsInRange(hi + 1, m - 1)) *
                            ctx->UpperWindowProportion(lo, hi, w));
     const double found = static_cast<double>(dh_matches) + n_dp_lb;
     const double denom = found + ub;
@@ -270,7 +272,8 @@ Result<RiskAwareOutcome> HybridOptimizer::OptimizeRiskAware(
         grew = true;
       }
       if (out.recall_lb < beta && lo > i0) {
-        lo = std::max(i0, lo - std::min(lo - i0, std::max<size_t>(1, mid - lo)));
+        lo = std::max(
+            i0, lo - std::min(lo - i0, std::max<size_t>(1, mid - lo)));
         grew = true;
       }
       if (!grew && (hi < j0 || lo > i0)) {

@@ -1,6 +1,5 @@
 #include "core/oracle.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace humo::core {
@@ -28,14 +27,14 @@ Oracle::Oracle(const data::Workload* workload, double error_rate,
 bool Oracle::Label(size_t index) {
   assert(index < workload_->size());
   ++total_requests_;
-  const auto it = answers_.find(index);
-  if (it != answers_.end()) return it->second;
-  bool truth = (*workload_)[index].is_match;
+  if (answers_.Known(index)) return answers_.Answer(index);
+  bool truth = workload_->IsMatch(index);
   if (error_rate_ > 0.0 &&
       HashToUnit(seed_, static_cast<uint64_t>(index)) < error_rate_) {
     truth = !truth;
   }
-  answers_.emplace(index, truth);
+  answers_.Record(index, truth);
+  ++inspected_;
   return truth;
 }
 
@@ -56,20 +55,7 @@ size_t Oracle::InspectRange(size_t begin, size_t end) {
 
 void Oracle::Preload(size_t index, bool answer) {
   assert(index < workload_->size());
-  if (answers_.emplace(index, answer).second) ++preloaded_;
-}
-
-std::vector<std::pair<size_t, bool>> Oracle::AnswerSnapshot() const {
-  std::vector<std::pair<size_t, bool>> snapshot(answers_.begin(),
-                                                answers_.end());
-  std::sort(snapshot.begin(), snapshot.end());
-  return snapshot;
-}
-
-bool Oracle::CachedAnswer(size_t index) const {
-  const auto it = answers_.find(index);
-  assert(it != answers_.end() && "CachedAnswer on an uninspected pair");
-  return it->second;
+  if (answers_.Record(index, answer)) ++preloaded_;
 }
 
 double Oracle::CostFraction() const {
@@ -78,8 +64,9 @@ double Oracle::CostFraction() const {
 }
 
 void Oracle::Reset() {
-  answers_.clear();
+  answers_.Clear();
   total_requests_ = 0;
+  inspected_ = 0;
   preloaded_ = 0;
 }
 

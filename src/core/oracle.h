@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/paged_bitmap.h"
 #include "data/workload.h"
 
 namespace humo::core {
@@ -17,6 +17,16 @@ namespace humo::core {
 /// observe labels, and it accounts for human cost as the number of DISTINCT
 /// pairs inspected (repeat queries on the same pair are free — the answer is
 /// already known).
+///
+/// Answer memory is a paged bitmap (core/paged_bitmap.h), not a hash map:
+/// a fully inspected 10M-pair workload costs ~2.5 MiB instead of the
+/// >0.5 GiB an unordered_map<size_t, bool> node store reaches, and every
+/// lookup is two bit probes. Cost counters are tracked directly
+/// (`inspected_` fresh inspections, `preloaded_` seeded answers) rather
+/// than derived by subtracting container sizes, so no preload/inspect
+/// ordering can underflow cost() — the regression the pre-overhaul
+/// `answers_.size() - preloaded_` formula was one bookkeeping slip away
+/// from turning into a ~SIZE_MAX human cost.
 ///
 /// An optional error rate models imperfect humans (§IV discusses that HUMO's
 /// guarantees then degrade to what the human achieves on DH): each pair's
@@ -54,10 +64,10 @@ class Oracle {
   /// fresh inspection).
   size_t preloaded() const { return preloaded_; }
 
-  /// Number of distinct pairs inspected so far (the paper's human-cost
-  /// metric). Preloaded answers are excluded — they were paid for wherever
-  /// they were originally inspected.
-  size_t cost() const { return answers_.size() - preloaded_; }
+  /// Number of distinct pairs freshly inspected so far (the paper's
+  /// human-cost metric). Preloaded answers are excluded — they were paid
+  /// for wherever they were originally inspected.
+  size_t cost() const { return inspected_; }
 
   /// Every pair index ever passed to Label/InspectBatch/InspectRange,
   /// including repeats answered from memory.
@@ -67,26 +77,32 @@ class Oracle {
   /// The estimation engine's caches exist to keep this at zero: a duplicate
   /// request is a wasted round-trip to the human even though it is free in
   /// the paper's distinct-pair cost metric.
-  size_t duplicate_requests() const { return total_requests_ - cost(); }
+  size_t duplicate_requests() const { return total_requests_ - inspected_; }
 
   /// Cost as a fraction of the workload (the psi of Tables V/VI).
   double CostFraction() const;
 
-  /// True if the pair was already inspected.
-  bool WasAsked(size_t index) const { return answers_.count(index) > 0; }
+  /// True if the pair was already inspected (or preloaded).
+  bool WasAsked(size_t index) const { return answers_.Known(index); }
 
   /// The remembered answer for an already-inspected pair (free lookup; does
   /// not count as a request). Precondition: WasAsked(index).
-  bool CachedAnswer(size_t index) const;
+  bool CachedAnswer(size_t index) const { return answers_.Answer(index); }
 
   /// Forgets all answers (including preloads) and resets every counter.
   void Reset();
 
   /// Every (index, answer) held in memory — fresh inspections and preloads
-  /// alike — sorted by index so the snapshot is deterministic. This is what
-  /// the streaming resolver persists across an epoch merge before re-keying
-  /// the answers against the merged workload.
-  std::vector<std::pair<size_t, bool>> AnswerSnapshot() const;
+  /// alike — ascending by index so the snapshot is deterministic. This is
+  /// what the streaming resolver persists across an epoch merge before
+  /// re-keying the answers against the merged workload.
+  std::vector<std::pair<size_t, bool>> AnswerSnapshot() const {
+    return answers_.Snapshot();
+  }
+
+  /// Bytes of answer memory currently held (paged bitmap + page table) —
+  /// reported by bench_scale against the hash-map layout it replaced.
+  size_t AnswerMemoryBytes() const { return answers_.MemoryBytes(); }
 
   const data::Workload& workload() const { return *workload_; }
 
@@ -95,8 +111,9 @@ class Oracle {
   double error_rate_;
   uint64_t seed_;
   size_t total_requests_ = 0;
+  size_t inspected_ = 0;
   size_t preloaded_ = 0;
-  std::unordered_map<size_t, bool> answers_;
+  PagedAnswerBitmap answers_;
 };
 
 }  // namespace humo::core

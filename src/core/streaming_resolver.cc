@@ -305,17 +305,11 @@ void StreamingResolver::RefreshProvisional(EpochReport* report) {
 }
 
 size_t StreamingResolver::IndexOf(const data::InstancePair& pair) const {
-  const std::vector<data::InstancePair>& pairs = cumulative_.pairs();
-  auto it =
-      std::lower_bound(pairs.begin(), pairs.end(), pair, data::PairLess);
-  // PairLess is a total order on distinct pairs, so the evidence pair sits
-  // exactly at the lower bound; scan over exact-key duplicates defensively.
-  while (it != pairs.end() && !data::PairLess(pair, *it)) {
-    if (it->left_id == pair.left_id && it->right_id == pair.right_id &&
-        it->is_match == pair.is_match) {
-      return static_cast<size_t>(it - pairs.begin());
-    }
-    ++it;
+  // Column-based binary search over the sorted similarity column — no AoS
+  // materialization of the cumulative workload.
+  const size_t idx = cumulative_.IndexOfSorted(pair);
+  if (idx < cumulative_.size() && cumulative_.IsMatch(idx) == pair.is_match) {
+    return idx;
   }
   // A miss means a merge dropped or mutated a pair the human already
   // answered — re-keying the answer anywhere else would seed a WRONG

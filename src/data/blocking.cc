@@ -1,32 +1,90 @@
 #include "data/blocking.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "text/tokenizer.h"
 
 namespace humo::data {
+namespace {
+
+/// Columnar pair sink used by the parallel blockers: each ParallelFor chunk
+/// fills its own PairColumns, and the chunks are concatenated IN CHUNK-ID
+/// ORDER afterwards — chunk boundaries depend only on (n, grain), so the
+/// concatenation (and with it the final sorted workload) is bit-identical
+/// at any thread count.
+struct PairColumns {
+  std::vector<uint32_t> lefts, rights;
+  std::vector<double> sims;
+  std::vector<uint8_t> labels;
+
+  void Add(uint32_t l, uint32_t r, double s, bool match) {
+    lefts.push_back(l);
+    rights.push_back(r);
+    sims.push_back(s);
+    labels.push_back(match ? 1 : 0);
+  }
+
+  void Append(PairColumns&& other) {
+    lefts.insert(lefts.end(), other.lefts.begin(), other.lefts.end());
+    rights.insert(rights.end(), other.rights.begin(), other.rights.end());
+    sims.insert(sims.end(), other.sims.begin(), other.sims.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  }
+};
+
+/// Left-table rows per scoring task. Small grains balance the skewed row
+/// costs (a row's work is proportional to its candidate count).
+constexpr size_t kThresholdGrain = 16;
+constexpr size_t kTokenGrain = 64;
+constexpr size_t kWindowGrain = 256;
+constexpr size_t kScoreGrain = 512;
+
+Workload BuildWorkload(std::vector<PairColumns> chunks) {
+  PairColumns all;
+  size_t total = 0;
+  for (const PairColumns& c : chunks) total += c.sims.size();
+  all.lefts.reserve(total);
+  all.rights.reserve(total);
+  all.sims.reserve(total);
+  all.labels.reserve(total);
+  for (PairColumns& c : chunks) all.Append(std::move(c));
+  return Workload::FromColumns(std::move(all.lefts), std::move(all.rights),
+                               std::move(all.sims), std::move(all.labels));
+}
+
+}  // namespace
 
 Workload ThresholdBlock(const RecordTable& left, const RecordTable& right,
                         const PairScorer& scorer, double threshold) {
-  Workload w;
-  for (const auto& l : left.records()) {
-    for (const auto& r : right.records()) {
-      const double sim = scorer(l, r);
-      if (sim >= threshold) {
-        w.Add({l.id, r.id, sim, l.entity_id == r.entity_id});
-      }
-    }
-  }
-  w.SortBySimilarity();
-  return w;
+  const size_t n = left.size();
+  const size_t num_chunks =
+      n == 0 ? 0 : (n + kThresholdGrain - 1) / kThresholdGrain;
+  std::vector<PairColumns> chunks(num_chunks);
+  ThreadPool::Global()->ParallelFor(
+      n, kThresholdGrain, [&](size_t begin, size_t end) {
+        PairColumns& out = chunks[begin / kThresholdGrain];
+        for (size_t i = begin; i < end; ++i) {
+          const Record& l = left[i];
+          for (const auto& r : right.records()) {
+            const double sim = scorer(l, r);
+            if (sim >= threshold) {
+              out.Add(l.id, r.id, sim, l.entity_id == r.entity_id);
+            }
+          }
+        }
+      });
+  return BuildWorkload(std::move(chunks));
 }
 
 Workload TokenBlock(const RecordTable& left, const RecordTable& right,
                     size_t attribute_index, const PairScorer& scorer,
                     double threshold) {
-  // Inverted index over the right table's blocking attribute.
+  // Inverted index over the right table's blocking attribute (read-only
+  // during the parallel scoring pass).
   std::unordered_map<std::string, std::vector<size_t>> index;
   for (size_t j = 0; j < right.size(); ++j) {
     const auto tokens = text::WordTokens(
@@ -36,28 +94,42 @@ Workload TokenBlock(const RecordTable& left, const RecordTable& right,
       if (seen.insert(t).second) index[t].push_back(j);
     }
   }
-  Workload w;
-  for (size_t i = 0; i < left.size(); ++i) {
-    const auto tokens = text::WordTokens(
-        NormalizeForMatching(left[i].attributes[attribute_index]));
-    std::unordered_set<size_t> candidates;
-    std::unordered_set<std::string> seen;
-    for (const auto& t : tokens) {
-      if (!seen.insert(t).second) continue;
-      const auto it = index.find(t);
-      if (it == index.end()) continue;
-      candidates.insert(it->second.begin(), it->second.end());
-    }
-    for (size_t j : candidates) {
-      const double sim = scorer(left[i], right[j]);
-      if (sim >= threshold) {
-        w.Add({left[i].id, right[j].id, sim,
-               left[i].entity_id == right[j].entity_id});
-      }
-    }
-  }
-  w.SortBySimilarity();
-  return w;
+
+  const size_t n = left.size();
+  const size_t num_chunks = n == 0 ? 0 : (n + kTokenGrain - 1) / kTokenGrain;
+  std::vector<PairColumns> chunks(num_chunks);
+  ThreadPool::Global()->ParallelFor(
+      n, kTokenGrain, [&](size_t begin, size_t end) {
+        PairColumns& out = chunks[begin / kTokenGrain];
+        std::vector<size_t> candidates;
+        for (size_t i = begin; i < end; ++i) {
+          const auto tokens = text::WordTokens(
+              NormalizeForMatching(left[i].attributes[attribute_index]));
+          candidates.clear();
+          std::unordered_set<std::string> seen;
+          for (const auto& t : tokens) {
+            if (!seen.insert(t).second) continue;
+            const auto it = index.find(t);
+            if (it == index.end()) continue;
+            candidates.insert(candidates.end(), it->second.begin(),
+                              it->second.end());
+          }
+          // Postings can overlap across tokens; sort+unique gives a
+          // deterministic candidate order independent of hash iteration.
+          std::sort(candidates.begin(), candidates.end());
+          candidates.erase(
+              std::unique(candidates.begin(), candidates.end()),
+              candidates.end());
+          for (size_t j : candidates) {
+            const double sim = scorer(left[i], right[j]);
+            if (sim >= threshold) {
+              out.Add(left[i].id, right[j].id, sim,
+                      left[i].entity_id == right[j].entity_id);
+            }
+          }
+        }
+      });
+  return BuildWorkload(std::move(chunks));
 }
 
 Workload SortedNeighborhoodBlock(const RecordTable& left,
@@ -85,28 +157,62 @@ Workload SortedNeighborhoodBlock(const RecordTable& left,
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.key < b.key; });
 
-  Workload w;
-  std::unordered_set<uint64_t> seen;  // dedup (left_idx << 32 | right_idx)
-  for (size_t a = 0; a < entries.size(); ++a) {
-    const size_t end = std::min(entries.size(), a + window);
-    for (size_t b = a + 1; b < end; ++b) {
-      const Entry& ea = entries[a];
-      const Entry& eb = entries[b];
-      if (ea.from_left == eb.from_left) continue;  // cross-table pairs only
-      const Entry& l = ea.from_left ? ea : eb;
-      const Entry& r = ea.from_left ? eb : ea;
-      const uint64_t pair_key =
-          (static_cast<uint64_t>(l.index) << 32) | static_cast<uint64_t>(r.index);
-      if (!seen.insert(pair_key).second) continue;
-      const double sim = scorer(left[l.index], right[r.index]);
-      if (sim >= threshold) {
-        w.Add({left[l.index].id, right[r.index].id, sim,
-               left[l.index].entity_id == right[r.index].entity_id});
-      }
+  // Phase 1 (parallel): each chunk of window anchors collects its candidate
+  // (left_idx, right_idx) keys. A pair inside overlapping windows is
+  // emitted by several anchors — dedup happens in phase 2, BEFORE the
+  // expensive scorer runs.
+  const size_t n = entries.size();
+  const size_t num_chunks = n == 0 ? 0 : (n + kWindowGrain - 1) / kWindowGrain;
+  std::vector<std::vector<uint64_t>> chunk_keys(num_chunks);
+  ThreadPool::Global()->ParallelFor(
+      n, kWindowGrain, [&](size_t begin, size_t end) {
+        std::vector<uint64_t>& out = chunk_keys[begin / kWindowGrain];
+        for (size_t a = begin; a < end; ++a) {
+          const size_t stop = std::min(n, a + window);
+          for (size_t b = a + 1; b < stop; ++b) {
+            const Entry& ea = entries[a];
+            const Entry& eb = entries[b];
+            if (ea.from_left == eb.from_left) continue;  // cross-table only
+            const Entry& l = ea.from_left ? ea : eb;
+            const Entry& r = ea.from_left ? eb : ea;
+            out.push_back((static_cast<uint64_t>(l.index) << 32) |
+                          static_cast<uint64_t>(r.index));
+          }
+        }
+      });
+
+  // Phase 2 (serial): concatenate in chunk order and keep each key's first
+  // occurrence — deterministic at any thread count.
+  std::vector<uint64_t> candidates;
+  std::unordered_set<uint64_t> seen;
+  for (const auto& keys : chunk_keys) {
+    for (uint64_t k : keys) {
+      if (seen.insert(k).second) candidates.push_back(k);
     }
   }
-  w.SortBySimilarity();
-  return w;
+
+  // Phase 3 (parallel): score the deduped candidates into an
+  // index-addressed column, then filter.
+  std::vector<double> scores(candidates.size());
+  ThreadPool::Global()->ParallelFor(
+      candidates.size(), kScoreGrain, [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          const size_t li = static_cast<size_t>(candidates[c] >> 32);
+          const size_t rj = static_cast<size_t>(candidates[c] & 0xFFFFFFFFu);
+          scores[c] = scorer(left[li], right[rj]);
+        }
+      });
+
+  PairColumns out;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (scores[c] < threshold) continue;
+    const size_t li = static_cast<size_t>(candidates[c] >> 32);
+    const size_t rj = static_cast<size_t>(candidates[c] & 0xFFFFFFFFu);
+    out.Add(left[li].id, right[rj].id, scores[c],
+            left[li].entity_id == right[rj].entity_id);
+  }
+  return Workload::FromColumns(std::move(out.lefts), std::move(out.rights),
+                               std::move(out.sims), std::move(out.labels));
 }
 
 double BlockingStats::ReductionRatio() const {

@@ -9,7 +9,11 @@
 
 namespace humo::data {
 
-/// Pair scorer: similarity of two records in [0,1].
+/// Pair scorer: similarity of two records in [0,1]. Blocking runs scorers
+/// in parallel on the global thread pool, so a scorer must be pure (no
+/// shared mutable state); all three blockers below produce bit-identical
+/// workloads at any thread count (chunk outputs are concatenated in
+/// deterministic chunk order before the final sort).
 using PairScorer = std::function<double(const Record&, const Record&)>;
 
 /// Exhaustive cross-product scoring with a similarity-threshold filter —

@@ -69,7 +69,8 @@ PairSimulatorConfig DsConfig(uint64_t seed) {
   c.lo = 0.2;
   c.hi = 1.0;
   c.match_components = {{0.85, 8.0, 1.7},   // dominant high-similarity mode
-                        {0.15, 3.0, 3.0}};  // mid-similarity tail of hard matches
+                        {0.15, 3.0, 3.0}};  // mid-similarity tail of hard
+                                            // matches
   c.unmatch_components = {{0.97, 1.1, 9.0},  // low-similarity bulk
                           {0.03, 4.0, 3.5}}; // mid/high-similarity noise
   c.seed = seed;
@@ -100,7 +101,8 @@ PairSimulatorConfig DsConfigSmall(uint64_t seed, size_t num_pairs) {
   PairSimulatorConfig c = DsConfig(seed);
   const double scale =
       static_cast<double>(num_pairs) / static_cast<double>(c.num_pairs);
-  c.num_matches = static_cast<size_t>(static_cast<double>(c.num_matches) * scale);
+  c.num_matches =
+      static_cast<size_t>(static_cast<double>(c.num_matches) * scale);
   c.num_pairs = num_pairs;
   return c;
 }
@@ -109,7 +111,8 @@ PairSimulatorConfig AbConfigSmall(uint64_t seed, size_t num_pairs) {
   PairSimulatorConfig c = AbConfig(seed);
   const double scale =
       static_cast<double>(num_pairs) / static_cast<double>(c.num_pairs);
-  c.num_matches = static_cast<size_t>(static_cast<double>(c.num_matches) * scale);
+  c.num_matches =
+      static_cast<size_t>(static_cast<double>(c.num_matches) * scale);
   c.num_pairs = num_pairs;
   return c;
 }

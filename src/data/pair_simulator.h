@@ -57,7 +57,9 @@ PairSimulatorConfig AbConfig(uint64_t seed = 1234);
 
 /// Scaled-down presets (default ~1/5 size) for unit tests and fast benches;
 /// same distribution shapes, fewer pairs.
-PairSimulatorConfig DsConfigSmall(uint64_t seed = 555, size_t num_pairs = 20000);
-PairSimulatorConfig AbConfigSmall(uint64_t seed = 1234, size_t num_pairs = 60000);
+PairSimulatorConfig DsConfigSmall(uint64_t seed = 555,
+                                  size_t num_pairs = 20000);
+PairSimulatorConfig AbConfigSmall(uint64_t seed = 1234,
+                                  size_t num_pairs = 60000);
 
 }  // namespace humo::data

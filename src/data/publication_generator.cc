@@ -25,7 +25,8 @@ const char* kQualifiers[] = {"scalable",  "adaptive",    "incremental",
                              "streaming", "federated",   "learned"};
 
 const char* kPatterns[] = {"a %s framework for %s", "%s %s revisited",
-                           "towards %s %s",         "on the %s evaluation of %s",
+                           "towards %s %s",
+                           "on the %s evaluation of %s",
                            "%s methods for %s",     "benchmarking %s %s"};
 
 const char* kFirstNames[] = {"wei",   "li",    "maria", "john",  "chen",
@@ -90,7 +91,8 @@ PublicationTables GeneratePublications(
     r.entity_id = static_cast<uint32_t>(i);
     r.attributes = {MakeTitle(&rng), MakeAuthors(&rng),
                     kVenues[rng.NextBelow(std::size(kVenues))],
-                    StrFormat("%d", 1995 + static_cast<int>(rng.NextBelow(25)))};
+                    StrFormat("%d", 1995 + static_cast<int>(
+                                                rng.NextBelow(25)))};
     (void)out.curated.Add(std::move(r));
   }
 

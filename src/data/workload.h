@@ -13,6 +13,10 @@ namespace humo::data {
 /// similarity, SVM distance mapped to [0,1], or match probability) plus the
 /// hidden ground-truth label. The ground truth is only ever read through the
 /// core::Oracle so that human cost is accounted for.
+///
+/// This is the VALUE type of the workload API. Since the SoA overhaul the
+/// Workload does not store InstancePair structs; it stores one contiguous
+/// column per field and materializes an InstancePair on access.
 struct InstancePair {
   /// Identifiers of the two records (indices into source tables); optional
   /// provenance, unused by the optimizers.
@@ -33,31 +37,73 @@ struct InstancePair {
 bool PairLess(const InstancePair& a, const InstancePair& b);
 
 /// An ER workload D = {d_1..d_n}, sorted ascending by similarity.
+///
+/// Storage is structure-of-arrays: four contiguous columns (similarity,
+/// left id, right id, label), one element per pair. The hot paths of the
+/// million-pair regime — partition rebuilds summing similarities, oracle
+/// label reads, streaming merges — touch exactly the column they need
+/// instead of striding over 32-byte structs, and the similarity column can
+/// be handed to vectorized/parallel consumers as a raw `const double*`.
+/// The pair-level API (operator[], Add, construction from
+/// std::vector<InstancePair>) is unchanged except that operator[] returns
+/// the pair BY VALUE.
 class Workload {
  public:
   Workload() = default;
   explicit Workload(std::vector<InstancePair> pairs);
 
-  /// Sorts pairs ascending by similarity (stable; id pair breaks ties
-  /// deterministically).
+  /// Sorts pairs ascending by similarity (id pair breaks ties
+  /// deterministically — see PairLess). Runs an O(n) LSD radix sort over
+  /// the similarity key bits (plus an O(t log t) cleanup per run of t
+  /// equal-similarity pairs, t being 1 almost everywhere), not an
+  /// O(n log n) comparison sort; because PairLess is a total order on
+  /// distinct pairs the resulting sequence is identical to what any
+  /// correct sort produces.
   void SortBySimilarity();
 
   /// Merges `incoming` (arbitrary order) into this already-sorted workload:
-  /// the incoming block is sorted on its own (O(m log m)) and then merged
-  /// in place against the existing pairs (O(n + m)) under PairLess — the
-  /// result is exactly what SortBySimilarity would produce on the
-  /// concatenation, without the O((n+m) log (n+m)) re-sort. This is the
-  /// epoch-ingest path of the streaming resolver. Returns true when the
-  /// merge was a pure tail append (every incoming pair ordered after every
-  /// existing one), in which case all pre-existing pair indices are
-  /// unchanged and index-keyed state (oracle answers, subset statistics)
-  /// stays valid.
+  /// the incoming block is sorted on its own and then merged column-wise
+  /// against the existing pairs (O(n + m)) under PairLess — the result is
+  /// exactly what SortBySimilarity would produce on the concatenation,
+  /// without re-sorting the prefix. This is the epoch-ingest path of the
+  /// streaming resolver. Returns true when the merge was a pure tail append
+  /// (every incoming pair ordered after every existing one), in which case
+  /// all pre-existing pair indices are unchanged and index-keyed state
+  /// (oracle answers, subset statistics) stays valid.
   bool MergeSorted(std::vector<InstancePair> incoming);
 
-  size_t size() const { return pairs_.size(); }
-  bool empty() const { return pairs_.empty(); }
-  const InstancePair& operator[](size_t i) const { return pairs_[i]; }
-  const std::vector<InstancePair>& pairs() const { return pairs_; }
+  size_t size() const { return similarities_.size(); }
+  bool empty() const { return similarities_.empty(); }
+
+  /// Materializes pair `i` from the columns. Returned by value: callers
+  /// must not retain references/pointers across statements (the usual
+  /// `const auto& p = w[i];` still works through lifetime extension).
+  InstancePair operator[](size_t i) const {
+    return {left_ids_[i], right_ids_[i], similarities_[i], labels_[i] != 0};
+  }
+
+  /// Contiguous similarity column (ascending once sorted) — the input of
+  /// partition rebuilds and GP subset averaging.
+  const std::vector<double>& similarities() const { return similarities_; }
+  /// Contiguous record-id columns (provenance).
+  const std::vector<uint32_t>& left_ids() const { return left_ids_; }
+  const std::vector<uint32_t>& right_ids() const { return right_ids_; }
+  /// Contiguous ground-truth column, 1 = match. Only the Oracle and
+  /// evaluation code may read it, same contract as InstancePair::is_match.
+  const std::vector<uint8_t>& match_labels() const { return labels_; }
+
+  double Similarity(size_t i) const { return similarities_[i]; }
+  bool IsMatch(size_t i) const { return labels_[i] != 0; }
+
+  /// AoS copy of every pair, in order — for callers that genuinely need
+  /// the struct layout (serialization, external interop). O(n) and O(n)
+  /// extra memory; hot paths should use the column accessors instead.
+  std::vector<InstancePair> MaterializePairs() const;
+
+  /// Index of the pair equal to `pair` (same similarity AND both ids) in
+  /// this sorted workload, or size() when absent. Binary search over the
+  /// similarity column, O(log n) — no AoS materialization.
+  size_t IndexOfSorted(const InstancePair& pair) const;
 
   /// Total ground-truth matching pairs (evaluation only — optimizers must
   /// not call this).
@@ -74,8 +120,27 @@ class Workload {
   /// Appends a pair (invalidates sortedness until SortBySimilarity).
   void Add(InstancePair pair);
 
+  /// Reserves column capacity for `n` pairs.
+  void Reserve(size_t n);
+
+  /// Builds a workload directly from columns (all four the same length),
+  /// then sorts. The zero-copy construction path for generators and
+  /// blockers that already produce columnar output.
+  static Workload FromColumns(std::vector<uint32_t> left_ids,
+                              std::vector<uint32_t> right_ids,
+                              std::vector<double> similarities,
+                              std::vector<uint8_t> labels);
+
  private:
-  std::vector<InstancePair> pairs_;
+  /// True when row a orders strictly before row b under PairLess.
+  bool RowLess(size_t a, size_t b) const;
+  /// Applies `perm` (new position i takes old row perm[i]) to all columns.
+  void ApplyPermutation(const std::vector<size_t>& perm);
+
+  std::vector<double> similarities_;
+  std::vector<uint32_t> left_ids_;
+  std::vector<uint32_t> right_ids_;
+  std::vector<uint8_t> labels_;
 };
 
 /// Summary statistics of a workload, for dataset tables in docs/benches.

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+
+namespace humo::eval {
+
+/// Seed-pinned SAMP golden results on the calibrated reference workloads —
+/// the SINGLE source of truth shared by the golden regression suite
+/// (tests/integration/golden_regression_test.cc, which pins the full
+/// optimizer matrix and documents the HUMO_PRINT_GOLDEN regeneration flow)
+/// and by bench_scale's in-process bit-identity self-check. Setup: seeded
+/// DS 20k (DsConfigSmall(555, 20000)) / AB 60k (AbConfigSmall(1234,
+/// 60000)), subset size 200, alpha = beta = theta = 0.9, optimizer seed
+/// 1000, precision/recall from eval::QualityOf over the applied solution.
+/// When an intentional behavior change regenerates the test's golden
+/// table, update these rows in the same commit — the test cross-checks its
+/// SAMP rows against them, so a stale copy fails locally, not just in CI.
+struct GoldenSampReference {
+  const char* workload;
+  double precision;
+  double recall;
+  size_t human_cost;
+};
+
+inline constexpr GoldenSampReference kGoldenSampDs{
+    "DS", 0.99810246679316883, 1.0, 20000};
+inline constexpr GoldenSampReference kGoldenSampAb{"AB", 1.0, 1.0, 58200};
+
+}  // namespace humo::eval

@@ -50,12 +50,11 @@ void GpRegression::FinishFit() {
                   0.5 * chol_.LogDeterminant() - 0.5 * n * kLog2Pi;
 }
 
-Result<GpRegression> GpRegression::Fit(std::unique_ptr<Kernel> kernel,
-                                       std::vector<double> x,
-                                       std::vector<double> y,
-                                       GpOptions options,
-                                       std::vector<double> noise_variances,
-                                       const linalg::Matrix* pairwise_distances) {
+Result<GpRegression> GpRegression::Fit(
+    std::unique_ptr<Kernel> kernel, std::vector<double> x,
+    std::vector<double> y, GpOptions options,
+    std::vector<double> noise_variances,
+    const linalg::Matrix* pairwise_distances) {
   if (!kernel) return Status::InvalidArgument("kernel must not be null");
   if (x.size() != y.size())
     return Status::InvalidArgument(
@@ -202,8 +201,10 @@ JointPrediction GpRegression::PredictJoint(
   for (size_t j = 0; j < q; ++j)
     kernel_->FillRow(x_star[j], x_.data(), n, k_cross.RowPtr(j));
   // Means: y_mean + K(V*,V) alpha.
-  for (size_t j = 0; j < q; ++j)
-    jp.mean[j] = y_mean_ + linalg::DotRange(k_cross.RowPtr(j), alpha_.data(), n);
+  for (size_t j = 0; j < q; ++j) {
+    jp.mean[j] =
+        y_mean_ + linalg::DotRange(k_cross.RowPtr(j), alpha_.data(), n);
+  }
   // Posterior covariance: K(V*,V*) - K(V*,V) K^-1 K(V,V*)
   //                     = K(V*,V*) - W W^T with row j of W = L^-1 k(V, x*_j),
   // all rows obtained in one blocked multi-RHS substitution.
@@ -234,8 +235,8 @@ linalg::Vector GpRegression::WhitenedCross(double x_star) const {
 double GpRegression::PosteriorVarianceFromWhitened(
     double x_star, const linalg::Vector& w) const {
   assert(w.size() == x_.size());
-  const double var =
-      (*kernel_)(x_star, x_star) - linalg::DotRange(w.data(), w.data(), w.size());
+  const double var = (*kernel_)(x_star, x_star) -
+                     linalg::DotRange(w.data(), w.data(), w.size());
   return var < 0.0 ? 0.0 : var;
 }
 

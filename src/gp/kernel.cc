@@ -53,7 +53,8 @@ linalg::Matrix Kernel::GramSymmetric(const std::vector<double>& xs) const {
   return k;
 }
 
-linalg::Matrix Kernel::GramFromDistances(const linalg::Matrix& distances) const {
+linalg::Matrix Kernel::GramFromDistances(
+    const linalg::Matrix& distances) const {
   assert(distances.rows() == distances.cols());
   const size_t n = distances.rows();
   linalg::Matrix k(n, n);

@@ -78,6 +78,7 @@
 #include "core/hybrid_optimizer.h"
 #include "core/machine_metric.h"
 #include "core/oracle.h"
+#include "core/paged_bitmap.h"
 #include "core/partial_sampling_optimizer.h"
 #include "core/partition.h"
 #include "core/risk_aware_optimizer.h"
@@ -92,10 +93,12 @@
 #include "data/product_generator.h"
 #include "data/publication_generator.h"
 #include "data/record.h"
+#include "data/scale_generator.h"
 #include "data/workload.h"
 #include "data/workload_stream.h"
 #include "eval/evaluation.h"
 #include "eval/experiment.h"
+#include "eval/golden_reference.h"
 #include "eval/report.h"
 #include "gp/gp_regression.h"
 #include "gp/kernel.h"

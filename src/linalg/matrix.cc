@@ -71,7 +71,8 @@ Matrix Matrix::operator+(const Matrix& rhs) const {
 Matrix Matrix::operator-(const Matrix& rhs) const {
   assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
   Matrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - rhs.data_[i];
+  for (size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - rhs.data_[i];
   return out;
 }
 

@@ -41,7 +41,8 @@ std::vector<double> AggregatedSimilarity::WeightsFromDistinctCounts(
   std::vector<double> weights(num_attributes);
   for (size_t i = 0; i < num_attributes; ++i) {
     // Guard against a constant column receiving zero weight everywhere.
-    weights[i] = static_cast<double>(distinct[i].size() ? distinct[i].size() : 1);
+    weights[i] =
+        static_cast<double>(distinct[i].size() ? distinct[i].size() : 1);
   }
   return weights;
 }

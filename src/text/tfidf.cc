@@ -16,8 +16,10 @@ void TfIdfModel::Fit(const std::vector<std::vector<std::string>>& corpus) {
 
 double TfIdfModel::Idf(const std::string& token) const {
   const auto it = doc_freq_.find(token);
-  const double df = (it == doc_freq_.end()) ? 0.0 : static_cast<double>(it->second);
-  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) + 1.0;
+  const double df =
+      (it == doc_freq_.end()) ? 0.0 : static_cast<double>(it->second);
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
+         1.0;
 }
 
 SparseVector TfIdfModel::Transform(const std::vector<std::string>& doc) const {

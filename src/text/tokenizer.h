@@ -17,6 +17,7 @@ std::vector<std::string> WordTokens(std::string_view s);
 std::vector<std::string> QGrams(std::string_view s, size_t q, bool pad = true);
 
 /// Deduplicated token set (for set-based similarities).
-std::unordered_set<std::string> TokenSet(const std::vector<std::string>& tokens);
+std::unordered_set<std::string> TokenSet(
+    const std::vector<std::string>& tokens);
 
 }  // namespace humo::text

@@ -174,5 +174,90 @@ TEST(OracleTest, ResetClearsPreloads) {
   EXPECT_FALSE(oracle.WasAsked(5));
 }
 
+/// Regression: cost() was previously DERIVED as answers.size() -
+/// preloaded, so any preload/inspect interleaving that let `preloaded`
+/// outrun the answer count wrapped cost() to ~SIZE_MAX. The counters are
+/// now tracked directly; this pins every ordering of preload and fresh
+/// inspection on overlapping and disjoint indices.
+TEST(OracleTest, CostNeverUnderflowsAcrossPreloadInspectOrderings) {
+  const data::Workload w = SmallWorkload();
+  const size_t kHuge = static_cast<size_t>(-1) / 2;
+
+  {
+    // Preload then inspect the SAME pair: served from memory, still free.
+    Oracle oracle(&w);
+    oracle.Preload(3, true);  // ground truth for pair 3 is false
+    EXPECT_EQ(oracle.cost(), 0u);
+    EXPECT_TRUE(oracle.Label(3));  // preloaded answer wins over truth
+    EXPECT_EQ(oracle.cost(), 0u);
+    EXPECT_LT(oracle.cost(), kHuge);
+    EXPECT_EQ(oracle.preloaded(), 1u);
+    EXPECT_EQ(oracle.total_requests(), 1u);
+    EXPECT_EQ(oracle.duplicate_requests(), 1u);
+  }
+  {
+    // Inspect fresh FIRST, then preload the same pair: the preload is a
+    // no-op and must not inflate preloaded() past the answer count.
+    Oracle oracle(&w);
+    EXPECT_TRUE(oracle.Label(7));
+    oracle.Preload(7, false);
+    oracle.Preload(7, false);
+    EXPECT_EQ(oracle.cost(), 1u);
+    EXPECT_EQ(oracle.preloaded(), 0u);
+    EXPECT_TRUE(oracle.CachedAnswer(7));  // history not rewritten
+  }
+  {
+    // Repeated preloads of one index count once.
+    Oracle oracle(&w);
+    oracle.Preload(2, true);
+    oracle.Preload(2, true);
+    oracle.Preload(2, false);
+    EXPECT_EQ(oracle.preloaded(), 1u);
+    EXPECT_EQ(oracle.cost(), 0u);
+    EXPECT_TRUE(oracle.CachedAnswer(2));
+  }
+  {
+    // Mixed: preloads and fresh inspections on disjoint indices, then a
+    // batch straddling both. cost() counts only the fresh ones.
+    Oracle oracle(&w);
+    oracle.Preload(0, false);
+    oracle.Preload(9, true);
+    oracle.Label(4);
+    const auto answers = oracle.InspectBatch({0, 4, 5, 9});
+    EXPECT_EQ(answers.size(), 4u);
+    EXPECT_EQ(oracle.cost(), 2u);       // pairs 4 and 5
+    EXPECT_EQ(oracle.preloaded(), 2u);  // pairs 0 and 9
+    EXPECT_LT(oracle.cost(), kHuge);
+    EXPECT_EQ(oracle.total_requests(), 5u);
+    EXPECT_EQ(oracle.duplicate_requests(), 3u);
+  }
+}
+
+TEST(OracleTest, AnswerMemoryStaysPagedAndLean) {
+  // A sparse inspection pattern across a wide index range must only pay
+  // for the pages it touches.
+  std::vector<data::InstancePair> pairs;
+  const size_t n = 200000;
+  pairs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    pairs.push_back({i, i, static_cast<double>(i) / static_cast<double>(n),
+                     false});
+  }
+  const data::Workload w{std::move(pairs)};
+  Oracle oracle(&w);
+  oracle.Label(0);
+  oracle.Label(n - 1);
+  const size_t sparse_bytes = oracle.AnswerMemoryBytes();
+  // Two pages (~1 KiB each) plus the page-pointer table.
+  EXPECT_LT(sparse_bytes, 16 * 1024u);
+
+  oracle.InspectRange(0, n);
+  const size_t full_bytes = oracle.AnswerMemoryBytes();
+  EXPECT_EQ(oracle.cost(), n);
+  // Full inspection: ~2 bits/pair plus page table — far under the ~50
+  // bytes/pair an unordered_map node store costs.
+  EXPECT_LT(full_bytes, n);
+}
+
 }  // namespace
 }  // namespace humo::core

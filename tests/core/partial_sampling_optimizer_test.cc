@@ -67,7 +67,8 @@ TEST(PartialSamplingOptimizerTest, CheaperSamplingThanAllSampling) {
   ASSERT_TRUE(outcome.ok());
   // Sampling cost before DH labeling: well under one-fifth of all-sampling's
   // m * samples_per_subset.
-  const size_t all_sampling_cost = p.num_subsets() * opt.options().samples_per_subset;
+  const size_t all_sampling_cost =
+      p.num_subsets() * opt.options().samples_per_subset;
   EXPECT_LT(oracle.cost(), all_sampling_cost / 5);
 }
 

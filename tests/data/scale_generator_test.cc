@@ -1,0 +1,113 @@
+#include "data/scale_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "data/blocking.h"
+#include "text/token_similarity.h"
+#include "text/tokenizer.h"
+
+namespace humo::data {
+namespace {
+
+TEST(ScaleGeneratorTest, WorkloadHasConfiguredSizeAndMatches) {
+  ScaleWorkloadConfig cfg;
+  cfg.num_pairs = 50000;
+  cfg.match_fraction = 0.05;
+  const Workload w = GenerateScaleWorkload(cfg);
+  EXPECT_EQ(w.size(), 50000u);
+  EXPECT_EQ(w.CountMatches(), 2500u);
+  for (size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LE(w.Similarity(i - 1), w.Similarity(i));
+  }
+  EXPECT_GE(w.Similarity(0), cfg.lo);
+  EXPECT_LE(w.Similarity(w.size() - 1), cfg.hi);
+}
+
+TEST(ScaleGeneratorTest, WorkloadMatchesSortedRawPairs) {
+  ScaleWorkloadConfig cfg;
+  cfg.num_pairs = 20000;
+  const Workload direct = GenerateScaleWorkload(cfg);
+  const Workload via_pairs{GenerateScalePairs(cfg)};
+  ASSERT_EQ(direct.size(), via_pairs.size());
+  EXPECT_EQ(direct.similarities(), via_pairs.similarities());
+  EXPECT_EQ(direct.left_ids(), via_pairs.left_ids());
+  EXPECT_EQ(direct.right_ids(), via_pairs.right_ids());
+  EXPECT_EQ(direct.match_labels(), via_pairs.match_labels());
+}
+
+TEST(ScaleGeneratorTest, WorkloadIsThreadCountInvariant) {
+  ScaleWorkloadConfig cfg;
+  cfg.num_pairs = 30000;
+  ThreadPool::SetGlobalThreads(1);
+  const Workload serial = GenerateScaleWorkload(cfg);
+  ThreadPool::SetGlobalThreads(4);
+  const Workload parallel = GenerateScaleWorkload(cfg);
+  ThreadPool::SetGlobalThreads(0);
+  EXPECT_EQ(serial.similarities(), parallel.similarities());
+  EXPECT_EQ(serial.match_labels(), parallel.match_labels());
+}
+
+TEST(ScaleGeneratorTest, PresetsScaleThePairCount) {
+  EXPECT_EQ(ScaleConfig1M().num_pairs, 1000000u);
+  EXPECT_EQ(ScaleConfig5M().num_pairs, 5000000u);
+  EXPECT_EQ(ScaleConfig10M().num_pairs, 10000000u);
+}
+
+TEST(ScaleGeneratorTest, TablesDriveTokenBlockToExactCandidateCount) {
+  ScaleTablesConfig cfg;
+  cfg.groups = 64;
+  cfg.left_per_group = 4;
+  cfg.right_per_group = 4;
+  cfg.match_fraction = 0.1;
+  const ScaleTables t = GenerateScaleTables(cfg);
+  ASSERT_EQ(t.left.size(), 64u * 4u);
+  ASSERT_EQ(t.right.size(), 64u * 4u);
+
+  const PairScorer scorer = [](const Record& a, const Record& b) {
+    return text::JaccardSimilarity(text::WordTokens(a.attributes[1]),
+                                   text::WordTokens(b.attributes[1]));
+  };
+  // Threshold 0 keeps every candidate: the group construction promises
+  // exactly groups * L * R of them.
+  const Workload w = TokenBlock(t.left, t.right, 0, scorer, 0.0);
+  EXPECT_EQ(w.size(), 64u * 4u * 4u);
+  EXPECT_GT(w.CountMatches(), 0u);
+
+  // Matching pairs share a perturbed name: their similarity must dominate
+  // the non-matching in-group pairs on average.
+  double match_sum = 0.0, unmatch_sum = 0.0;
+  size_t matches = 0, unmatches = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w.IsMatch(i)) {
+      match_sum += w.Similarity(i);
+      ++matches;
+    } else {
+      unmatch_sum += w.Similarity(i);
+      ++unmatches;
+    }
+  }
+  ASSERT_GT(matches, 0u);
+  ASSERT_GT(unmatches, 0u);
+  EXPECT_GT(match_sum / static_cast<double>(matches),
+            unmatch_sum / static_cast<double>(unmatches) + 0.3);
+}
+
+TEST(ScaleGeneratorTest, TablesAreDeterministic) {
+  ScaleTablesConfig cfg;
+  cfg.groups = 16;
+  const ScaleTables a = GenerateScaleTables(cfg);
+  const ScaleTables b = GenerateScaleTables(cfg);
+  ASSERT_EQ(a.left.size(), b.left.size());
+  for (size_t i = 0; i < a.left.size(); ++i) {
+    EXPECT_EQ(a.left[i].entity_id, b.left[i].entity_id);
+    EXPECT_EQ(a.left[i].attributes, b.left[i].attributes);
+  }
+  for (size_t i = 0; i < a.right.size(); ++i) {
+    EXPECT_EQ(a.right[i].entity_id, b.right[i].entity_id);
+    EXPECT_EQ(a.right[i].attributes, b.right[i].attributes);
+  }
+}
+
+}  // namespace
+}  // namespace humo::data

@@ -145,7 +145,8 @@ TEST(GpRegressionTest, LogMarginalLikelihoodPrefersTrueLengthScale) {
   GpOptions o;
   o.noise_variance = 1e-4;
   auto good = GpRegression::Fit(std::make_unique<RbfKernel>(0.3, 0.3), x, y, o);
-  auto bad = GpRegression::Fit(std::make_unique<RbfKernel>(0.3, 0.001), x, y, o);
+  auto bad =
+      GpRegression::Fit(std::make_unique<RbfKernel>(0.3, 0.001), x, y, o);
   ASSERT_TRUE(good.ok());
   ASSERT_TRUE(bad.ok());
   EXPECT_GT(good->LogMarginalLikelihood(), bad->LogMarginalLikelihood());

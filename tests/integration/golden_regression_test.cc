@@ -12,6 +12,7 @@
 #include "core/solution.h"
 #include "data/pair_simulator.h"
 #include "eval/evaluation.h"
+#include "eval/golden_reference.h"
 
 namespace humo {
 namespace {
@@ -24,8 +25,8 @@ namespace {
 /// RNG stream change) fails here even when the per-module tests still pass.
 ///
 /// Regenerating after an INTENTIONAL behavior change:
-///   HUMO_PRINT_GOLDEN=1 ./tests/humo_tests \
-///       --gtest_filter='GoldenRegressionTest.*'
+///   HUMO_PRINT_GOLDEN=1 ./tests/humo_tests
+///       --gtest_filter='GoldenRegressionTest.*'   (one command line)
 /// and paste the printed table over kGolden below. Review the diff: costs
 /// and ranges should move for a reason you can name.
 struct GoldenRow {
@@ -151,6 +152,21 @@ TEST_F(GoldenRegressionTest, AbSnapshotExact) {
     if (std::string(row.workload) != "AB") continue;
     SCOPED_TRACE(row.optimizer);
     CheckRow(ab_, row);
+  }
+}
+
+TEST(GoldenReferenceTest, SharedSampRowsMatchGoldenTable) {
+  // eval/golden_reference.h is the copy bench_scale checks itself against;
+  // a regeneration of kGolden that forgets to update it must fail HERE,
+  // locally, not as a confusing bench divergence in CI.
+  for (const GoldenRow& row : kGolden) {
+    if (std::string(row.optimizer) != "SAMP") continue;
+    const eval::GoldenSampReference& shared =
+        std::string(row.workload) == "DS" ? eval::kGoldenSampDs
+                                          : eval::kGoldenSampAb;
+    EXPECT_EQ(row.precision, shared.precision) << row.workload;
+    EXPECT_EQ(row.recall, shared.recall) << row.workload;
+    EXPECT_EQ(row.human_cost, shared.human_cost) << row.workload;
   }
 }
 

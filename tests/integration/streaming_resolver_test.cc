@@ -242,7 +242,8 @@ TEST_F(StreamingResolverTest, PureAppendStreamCarriesStateAcrossEpochs) {
   EXPECT_GE(quality.recall, 0.88);
 }
 
-TEST_F(StreamingResolverTest, HybrCertifierMatchesOneShotHybrAndCostsAtMostSamp) {
+TEST_F(StreamingResolverTest,
+       HybrCertifierMatchesOneShotHybrAndCostsAtMostSamp) {
   const core::QualityRequirement req{0.9, 0.9, 0.9};
   core::StreamingOptions options = DefaultStreamingOptions();
   options.certifier = core::StreamCertifier::kHybr;
@@ -266,7 +267,8 @@ TEST_F(StreamingResolverTest, HybrCertifierMatchesOneShotHybrAndCostsAtMostSamp)
   hybrid.sampling = options.sampling;
   auto oneshot_sol = core::HybridOptimizer(hybrid).Optimize(&ctx, req);
   ASSERT_TRUE(oneshot_sol.ok());
-  const auto oneshot_res = core::ApplySolution(partition, *oneshot_sol, &oracle);
+  const auto oneshot_res =
+      core::ApplySolution(partition, *oneshot_sol, &oracle);
   ExpectSolutionsEqual(cert->solution, *oneshot_sol);
   EXPECT_EQ(cert->resolution.labels, oneshot_res.labels);
   EXPECT_EQ(cert->total_inspections, oracle.cost());

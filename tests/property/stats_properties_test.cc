@@ -91,7 +91,8 @@ TEST(StratifiedPropertyTest, EstimateAdditivity) {
     auto randomize = [&](std::vector<Stratum>* v) {
       for (auto& s : *v) {
         s.population = 50 + rng.NextBelow(500);
-        s.sample_size = 2 + rng.NextBelow(std::min<uint64_t>(40, s.population - 1));
+        s.sample_size =
+            2 + rng.NextBelow(std::min<uint64_t>(40, s.population - 1));
         s.sample_positives = rng.NextBelow(s.sample_size + 1);
       }
     };

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""CI performance-regression gate over the committed BENCH_*.json baselines.
+
+Compares a freshly produced bench JSON against the committed baseline and
+fails (exit 1) when any CONTRACT field regresses by more than the tolerance
+(default 20%). Contract fields are ratios and counters that are stable
+across machines — speedups, cost ratios, reuse counts, bit-identity flags —
+NOT raw wall-clock milliseconds, which CI hardware jitter would turn into a
+flaky gate. Rows are matched by a per-bench key; candidate runs may cover a
+subset of the baseline rows (smoke configs), but at least one row must
+match.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_gp_refit.json \
+      --candidate build/BENCH_gp_refit.json [--tolerance 0.20]
+  check_bench_regression.py --selftest
+
+The per-bench contract (keyed by the JSON's "bench" field):
+  micro_gp_refit  key (n)            higher-better refit_speedup,
+                                     predict_speedup
+  streaming       key (workload,     lower-better  cost_ratio
+                  mode, certifier,   higher-better reused_answers
+                  shards, order,     exact         identical_labels
+                  pairs)
+  scale           key (scale)        higher-better build_speedup,
+                                     partition_speedup
+                                     exact         samp_cost, block_pairs
+
+--selftest proves the gate can actually fail: it fabricates a baseline,
+injects a 25% regression into a copy, and asserts the comparison rejects it
+(and accepts the unmodified copy).
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+TOLERANCE_DEFAULT = 0.20
+
+# bench name -> (row key fields, higher-better, lower-better, exact)
+CONTRACTS = {
+    "micro_gp_refit": {
+        "key": ("n",),
+        "higher": ("refit_speedup", "predict_speedup"),
+        "lower": (),
+        "exact": (),
+    },
+    "streaming": {
+        "key": ("workload", "mode", "certifier", "shards", "order", "pairs"),
+        "higher": ("reused_answers",),
+        "lower": ("cost_ratio",),
+        "exact": ("identical_labels",),
+    },
+    "scale": {
+        "key": ("scale",),
+        "higher": ("build_speedup", "partition_speedup"),
+        "lower": (),
+        "exact": ("samp_cost", "block_pairs"),
+    },
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def row_key(row, fields):
+    return tuple(row.get(f) for f in fields)
+
+
+def compare(baseline, candidate, tolerance):
+    """Returns a list of violation strings (empty = gate passes)."""
+    bench = baseline.get("bench")
+    if bench != candidate.get("bench"):
+        return [
+            "bench mismatch: baseline %r vs candidate %r"
+            % (bench, candidate.get("bench"))
+        ]
+    contract = CONTRACTS.get(bench)
+    if contract is None:
+        return ["no contract registered for bench %r" % bench]
+
+    base_rows = {
+        row_key(r, contract["key"]): r for r in baseline.get("results", [])
+    }
+    violations = []
+    matched = 0
+    for row in candidate.get("results", []):
+        key = row_key(row, contract["key"])
+        base = base_rows.get(key)
+        if base is None:
+            continue  # smoke config measuring a row the baseline lacks
+        matched += 1
+        label = "%s %s" % (bench, dict(zip(contract["key"], key)))
+        for field in contract["higher"]:
+            b, c = base.get(field), row.get(field)
+            if b is None or c is None:
+                violations.append("%s: missing field %r" % (label, field))
+            elif b > 0 and c < b * (1.0 - tolerance):
+                violations.append(
+                    "%s: %s regressed %.3f -> %.3f (>%.0f%% below baseline)"
+                    % (label, field, b, c, tolerance * 100)
+                )
+        for field in contract["lower"]:
+            b, c = base.get(field), row.get(field)
+            if b is None or c is None:
+                violations.append("%s: missing field %r" % (label, field))
+            elif c > b * (1.0 + tolerance):
+                violations.append(
+                    "%s: %s regressed %.3f -> %.3f (>%.0f%% above baseline)"
+                    % (label, field, b, c, tolerance * 100)
+                )
+        for field in contract["exact"]:
+            b, c = base.get(field), row.get(field)
+            if b != c:
+                violations.append(
+                    "%s: %s changed exactly-pinned value %r -> %r"
+                    % (label, field, b, c)
+                )
+    if matched == 0:
+        violations.append(
+            "no candidate row matched any baseline row (keys: %s)"
+            % (contract["key"],)
+        )
+    return violations
+
+
+def selftest():
+    baseline = {
+        "bench": "micro_gp_refit",
+        "results": [
+            {"n": 64, "refit_speedup": 120.0, "predict_speedup": 2.0},
+            {"n": 128, "refit_speedup": 250.0, "predict_speedup": 2.6},
+        ],
+    }
+    clean = copy.deepcopy(baseline)
+    assert compare(baseline, clean, TOLERANCE_DEFAULT) == [], (
+        "selftest: identical run must pass"
+    )
+
+    regressed = copy.deepcopy(baseline)
+    regressed["results"][0]["refit_speedup"] *= 0.75  # injected 25% loss
+    violations = compare(baseline, regressed, TOLERANCE_DEFAULT)
+    assert violations, "selftest: 25% regression must be rejected"
+
+    within = copy.deepcopy(baseline)
+    within["results"][0]["refit_speedup"] *= 0.85  # 15% — inside tolerance
+    assert compare(baseline, within, TOLERANCE_DEFAULT) == [], (
+        "selftest: 15% wobble must pass at 20% tolerance"
+    )
+
+    lower = {
+        "bench": "streaming",
+        "results": [
+            {
+                "workload": "DS",
+                "mode": "certify_once",
+                "certifier": "SAMP",
+                "shards": 4,
+                "order": "shuffled",
+                "pairs": 20000,
+                "cost_ratio": 1.0,
+                "reused_answers": 0,
+                "identical_labels": True,
+            }
+        ],
+    }
+    worse = copy.deepcopy(lower)
+    worse["results"][0]["cost_ratio"] = 1.3
+    assert compare(lower, worse, TOLERANCE_DEFAULT), (
+        "selftest: lower-better field rising 30% must be rejected"
+    )
+    flipped = copy.deepcopy(lower)
+    flipped["results"][0]["identical_labels"] = False
+    assert compare(lower, flipped, TOLERANCE_DEFAULT), (
+        "selftest: exact field flip must be rejected"
+    )
+    print("selftest OK: gate rejects injected regressions and passes clean runs")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed BENCH_*.json")
+    parser.add_argument("--candidate", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=TOLERANCE_DEFAULT,
+        help="allowed relative regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="verify the gate fails on an injected 25%% regression",
+    )
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        parser.error("--baseline and --candidate are required")
+
+    violations = compare(load(args.baseline), load(args.candidate),
+                         args.tolerance)
+    if violations:
+        print("PERFORMANCE REGRESSION GATE FAILED (%d violation%s):"
+              % (len(violations), "s" if len(violations) != 1 else ""))
+        for v in violations:
+            print("  - " + v)
+        return 1
+    print(
+        "perf gate OK: %s within %.0f%% of baseline %s"
+        % (args.candidate, args.tolerance * 100, args.baseline)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
