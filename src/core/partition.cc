@@ -74,7 +74,7 @@ void SubsetPartition::RebuildTail(size_t from_subset) {
   assert(workload_ != nullptr);
   const size_t n = workload_->size();
   const size_t m = n / subset_size_;  // final subset absorbs remainder
-  const double* sims = workload_->similarities().data();
+  const double* sims = workload_->similarity_data();
   if (n == 0) {
     subsets_.clear();
     return;

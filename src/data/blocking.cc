@@ -1,9 +1,11 @@
 #include "data/blocking.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "text/tokenizer.h"
@@ -42,6 +44,152 @@ constexpr size_t kThresholdGrain = 16;
 constexpr size_t kTokenGrain = 64;
 constexpr size_t kWindowGrain = 256;
 constexpr size_t kScoreGrain = 512;
+
+/// 64-bit mixing step (SplitMix64 finalizer) — the building block of the
+/// MinHash hash family and band-key combiner. Pure integer: identical on
+/// every platform.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One MinHash function: parameters drawn from Rng::Stream(seed, h), so the
+/// family is a pure function of the options seed.
+struct MinHashFn {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t operator()(uint32_t token_id) const {
+    return Mix64((static_cast<uint64_t>(token_id) + b) * a);
+  }
+};
+
+std::vector<MinHashFn> MakeHashFamily(const MinHashLshOptions& options) {
+  const size_t H = options.bands * options.rows;
+  std::vector<MinHashFn> fns(H);
+  for (size_t h = 0; h < H; ++h) {
+    Rng rng = Rng::Stream(options.seed, static_cast<uint64_t>(h));
+    fns[h].a = rng.NextUint64() | 1;  // odd multiplier
+    fns[h].b = rng.NextUint64();
+  }
+  return fns;
+}
+
+/// Smallest and second-smallest hash of a record's id set under every
+/// function of the family, written to min1/min2 (each H long). The second
+/// minimum feeds multi-probe; single-token records have min2 == min1.
+void ComputeSignature(const uint32_t* ids, size_t n,
+                      const std::vector<MinHashFn>& fns, uint64_t* min1,
+                      uint64_t* min2) {
+  const size_t H = fns.size();
+  for (size_t h = 0; h < H; ++h) {
+    uint64_t m1 = UINT64_MAX, m2 = UINT64_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t v = fns[h](ids[i]);
+      if (v < m1) {
+        m2 = m1;
+        m1 = v;
+      } else if (v < m2) {
+        m2 = v;
+      }
+    }
+    if (m2 == UINT64_MAX) m2 = m1;
+    min1[h] = m1;
+    min2[h] = m2;
+  }
+}
+
+/// Key of band `b` for probe `p`: rows are min1 values except that probe
+/// p >= 1 substitutes min2 in row p-1. Band index is folded in so equal row
+/// values in different bands do not alias (maps are per band anyway; this
+/// is belt and braces).
+uint64_t BandKey(const uint64_t* min1, const uint64_t* min2, size_t band,
+                 size_t rows, size_t probe) {
+  uint64_t key = Mix64(0x9E3779B97F4A7C15ULL + band);
+  for (size_t r = 0; r < rows; ++r) {
+    const uint64_t v =
+        (probe >= 1 && r == probe - 1) ? min2[band * rows + r]
+                                       : min1[band * rows + r];
+    key = Mix64(key ^ v);
+  }
+  return key;
+}
+
+/// Per-band hash buckets over the RIGHT table (canonical probe-0 keys
+/// only; multi-probe happens on the query side). Postings are in record
+/// order — deterministic regardless of map iteration.
+struct LshIndex {
+  std::vector<MinHashFn> fns;
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets;
+  size_t bands = 0;
+  size_t rows = 0;
+  size_t probes = 0;
+};
+
+/// Records per signature/probe task.
+constexpr size_t kLshGrain = 512;
+
+LshIndex BuildLshIndex(const RecordColumns& right_cols,
+                       const MinHashLshOptions& options) {
+  assert(options.bands > 0 && options.rows > 0);
+  LshIndex index;
+  index.bands = options.bands;
+  index.rows = options.rows;
+  index.probes = std::max<size_t>(1, std::min(options.probes,
+                                              1 + options.rows));
+  index.fns = MakeHashFamily(options);
+  const size_t H = index.fns.size();
+  const size_t n = right_cols.num_records();
+
+  // Signatures in parallel (index-addressed), bucket inserts serial in
+  // record order.
+  std::vector<uint64_t> min1(n * H), min2(n * H);
+  ThreadPool::Global()->ParallelFor(
+      n, kLshGrain, [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          ComputeSignature(right_cols.ids(r), right_cols.num_ids(r),
+                           index.fns, min1.data() + r * H,
+                           min2.data() + r * H);
+        }
+      });
+  index.buckets.resize(index.bands);
+  for (size_t r = 0; r < n; ++r) {
+    if (right_cols.num_ids(r) == 0) continue;  // empty set matches nothing
+    for (size_t b = 0; b < index.bands; ++b) {
+      const uint64_t key = BandKey(min1.data() + r * H, min2.data() + r * H,
+                                   b, index.rows, /*probe=*/0);
+      index.buckets[b][key].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return index;
+}
+
+/// Appends the sorted unique candidate right-record indices of left record
+/// `r` to `candidates` (cleared first).
+void ProbeRecord(const RecordColumns& left_cols, size_t r,
+                 const LshIndex& index, std::vector<uint64_t>* sig_scratch,
+                 std::vector<uint32_t>* candidates) {
+  candidates->clear();
+  const size_t n_ids = left_cols.num_ids(r);
+  if (n_ids == 0) return;
+  const size_t H = index.fns.size();
+  sig_scratch->resize(2 * H);
+  uint64_t* min1 = sig_scratch->data();
+  uint64_t* min2 = sig_scratch->data() + H;
+  ComputeSignature(left_cols.ids(r), n_ids, index.fns, min1, min2);
+  for (size_t b = 0; b < index.bands; ++b) {
+    for (size_t p = 0; p < index.probes; ++p) {
+      const uint64_t key = BandKey(min1, min2, b, index.rows, p);
+      const auto it = index.buckets[b].find(key);
+      if (it == index.buckets[b].end()) continue;
+      candidates->insert(candidates->end(), it->second.begin(),
+                         it->second.end());
+    }
+  }
+  std::sort(candidates->begin(), candidates->end());
+  candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                    candidates->end());
+}
 
 Workload BuildWorkload(std::vector<PairColumns> chunks) {
   PairColumns all;
@@ -132,10 +280,17 @@ Workload TokenBlock(const RecordTable& left, const RecordTable& right,
   return BuildWorkload(std::move(chunks));
 }
 
-Workload SortedNeighborhoodBlock(const RecordTable& left,
-                                 const RecordTable& right,
-                                 size_t attribute_index, size_t window,
-                                 const PairScorer& scorer, double threshold) {
+namespace {
+
+/// Phases 1-2 of sorted-neighborhood blocking, shared by the string and id
+/// scoring paths: merge-sort both tables by the normalized blocking key,
+/// slide the window, and return the deduped (left_idx << 32 | right_idx)
+/// candidate keys in first-occurrence order (chunk-id-ordered, so
+/// deterministic at any thread count).
+std::vector<uint64_t> SortedNeighborhoodCandidates(const RecordTable& left,
+                                                   const RecordTable& right,
+                                                   size_t attribute_index,
+                                                   size_t window) {
   // Merge both tables into one sorted sequence keyed by the normalized
   // blocking attribute; remember table provenance for pairing.
   struct Entry {
@@ -160,7 +315,7 @@ Workload SortedNeighborhoodBlock(const RecordTable& left,
   // Phase 1 (parallel): each chunk of window anchors collects its candidate
   // (left_idx, right_idx) keys. A pair inside overlapping windows is
   // emitted by several anchors — dedup happens in phase 2, BEFORE the
-  // expensive scorer runs.
+  // expensive scoring runs.
   const size_t n = entries.size();
   const size_t num_chunks = n == 0 ? 0 : (n + kWindowGrain - 1) / kWindowGrain;
   std::vector<std::vector<uint64_t>> chunk_keys(num_chunks);
@@ -190,6 +345,17 @@ Workload SortedNeighborhoodBlock(const RecordTable& left,
       if (seen.insert(k).second) candidates.push_back(k);
     }
   }
+  return candidates;
+}
+
+}  // namespace
+
+Workload SortedNeighborhoodBlock(const RecordTable& left,
+                                 const RecordTable& right,
+                                 size_t attribute_index, size_t window,
+                                 const PairScorer& scorer, double threshold) {
+  const std::vector<uint64_t> candidates =
+      SortedNeighborhoodCandidates(left, right, attribute_index, window);
 
   // Phase 3 (parallel): score the deduped candidates into an
   // index-addressed column, then filter.
@@ -213,6 +379,147 @@ Workload SortedNeighborhoodBlock(const RecordTable& left,
   }
   return Workload::FromColumns(std::move(out.lefts), std::move(out.rights),
                                std::move(out.sims), std::move(out.labels));
+}
+
+Workload ThresholdBlock(const RecordTable& left, const RecordTable& right,
+                        const RecordColumns& left_cols,
+                        const RecordColumns& right_cols,
+                        text::IdSetMetric metric, double threshold) {
+  assert(left_cols.num_records() == left.size());
+  assert(right_cols.num_records() == right.size());
+  const size_t n = left.size();
+  const size_t m = right.size();
+  const size_t num_chunks =
+      n == 0 ? 0 : (n + kThresholdGrain - 1) / kThresholdGrain;
+  std::vector<PairColumns> chunks(num_chunks);
+  ThreadPool::Global()->ParallelFor(
+      n, kThresholdGrain, [&](size_t begin, size_t end) {
+        PairColumns& out = chunks[begin / kThresholdGrain];
+        // Materialize this chunk's slice of the cross product as index
+        // columns and push it through the batched kernels in one call
+        // (nested ParallelFor runs inline on pool threads).
+        const size_t k = (end - begin) * m;
+        std::vector<uint32_t> li(k), rj(k);
+        size_t p = 0;
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t j = 0; j < m; ++j, ++p) {
+            li[p] = static_cast<uint32_t>(i);
+            rj[p] = static_cast<uint32_t>(j);
+          }
+        }
+        std::vector<double> scores(k);
+        BatchScorePairs(left_cols, right_cols, li.data(), rj.data(), k,
+                        metric, scores.data());
+        for (p = 0; p < k; ++p) {
+          if (scores[p] < threshold) continue;
+          const Record& l = left[li[p]];
+          const Record& r = right[rj[p]];
+          out.Add(l.id, r.id, scores[p], l.entity_id == r.entity_id);
+        }
+      });
+  return BuildWorkload(std::move(chunks));
+}
+
+Workload SortedNeighborhoodBlock(const RecordTable& left,
+                                 const RecordTable& right,
+                                 const RecordColumns& left_cols,
+                                 const RecordColumns& right_cols,
+                                 size_t attribute_index, size_t window,
+                                 text::IdSetMetric metric, double threshold) {
+  assert(left_cols.num_records() == left.size());
+  assert(right_cols.num_records() == right.size());
+  const std::vector<uint64_t> candidates =
+      SortedNeighborhoodCandidates(left, right, attribute_index, window);
+
+  // Phase 3: one batched kernel call over all deduped candidates (the
+  // kernel parallelizes internally), then filter in candidate order.
+  const size_t k = candidates.size();
+  std::vector<uint32_t> li(k), rj(k);
+  for (size_t c = 0; c < k; ++c) {
+    li[c] = static_cast<uint32_t>(candidates[c] >> 32);
+    rj[c] = static_cast<uint32_t>(candidates[c] & 0xFFFFFFFFu);
+  }
+  std::vector<double> scores(k);
+  BatchScorePairs(left_cols, right_cols, li.data(), rj.data(), k, metric,
+                  scores.data());
+
+  PairColumns out;
+  for (size_t c = 0; c < k; ++c) {
+    if (scores[c] < threshold) continue;
+    const Record& l = left[li[c]];
+    const Record& r = right[rj[c]];
+    out.Add(l.id, r.id, scores[c], l.entity_id == r.entity_id);
+  }
+  return Workload::FromColumns(std::move(out.lefts), std::move(out.rights),
+                               std::move(out.sims), std::move(out.labels));
+}
+
+LshCandidates MinHashLshCandidates(const RecordColumns& left_cols,
+                                   const RecordColumns& right_cols,
+                                   const MinHashLshOptions& options) {
+  const LshIndex index = BuildLshIndex(right_cols, options);
+  const size_t n = left_cols.num_records();
+  const size_t num_chunks = n == 0 ? 0 : (n + kLshGrain - 1) / kLshGrain;
+  std::vector<LshCandidates> chunks(num_chunks);
+  ThreadPool::Global()->ParallelFor(
+      n, kLshGrain, [&](size_t begin, size_t end) {
+        LshCandidates& out = chunks[begin / kLshGrain];
+        std::vector<uint64_t> sig_scratch;
+        std::vector<uint32_t> cand;
+        for (size_t r = begin; r < end; ++r) {
+          ProbeRecord(left_cols, r, index, &sig_scratch, &cand);
+          for (uint32_t j : cand) {
+            out.left.push_back(static_cast<uint32_t>(r));
+            out.right.push_back(j);
+          }
+        }
+      });
+  LshCandidates all;
+  size_t total = 0;
+  for (const LshCandidates& c : chunks) total += c.left.size();
+  all.left.reserve(total);
+  all.right.reserve(total);
+  for (LshCandidates& c : chunks) {
+    all.left.insert(all.left.end(), c.left.begin(), c.left.end());
+    all.right.insert(all.right.end(), c.right.begin(), c.right.end());
+  }
+  return all;
+}
+
+Workload MinHashLshBlock(const RecordTable& left, const RecordTable& right,
+                         const RecordColumns& left_cols,
+                         const RecordColumns& right_cols,
+                         const MinHashLshOptions& options,
+                         text::IdSetMetric metric, double threshold) {
+  assert(left_cols.num_records() == left.size());
+  assert(right_cols.num_records() == right.size());
+  const LshCandidates cand = MinHashLshCandidates(left_cols, right_cols,
+                                                  options);
+  const size_t k = cand.left.size();
+  std::vector<double> scores(k);
+  BatchScorePairs(left_cols, right_cols, cand.left.data(), cand.right.data(),
+                  k, metric, scores.data());
+  PairColumns out;
+  for (size_t c = 0; c < k; ++c) {
+    if (scores[c] < threshold) continue;
+    const Record& l = left[cand.left[c]];
+    const Record& r = right[cand.right[c]];
+    out.Add(l.id, r.id, scores[c], l.entity_id == r.entity_id);
+  }
+  return Workload::FromColumns(std::move(out.lefts), std::move(out.rights),
+                               std::move(out.sims), std::move(out.labels));
+}
+
+Workload MinHashLshBlock(const RecordTable& left, const RecordTable& right,
+                         size_t attribute_index,
+                         const MinHashLshOptions& options, double threshold) {
+  text::TokenDictionary dict;
+  const RecordColumns left_cols =
+      RecordColumns::Build(left, attribute_index, &dict);
+  const RecordColumns right_cols =
+      RecordColumns::Build(right, attribute_index, &dict);
+  return MinHashLshBlock(left, right, left_cols, right_cols, options,
+                         text::IdSetMetric::kJaccard, threshold);
 }
 
 double BlockingStats::ReductionRatio() const {

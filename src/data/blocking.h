@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "data/record.h"
+#include "data/record_columns.h"
 #include "data/workload.h"
 
 namespace humo::data {
@@ -41,6 +43,77 @@ Workload SortedNeighborhoodBlock(const RecordTable& left,
                                  const RecordTable& right,
                                  size_t attribute_index, size_t window,
                                  const PairScorer& scorer, double threshold);
+
+/// Id-path overload: scores the full cross product with the batched SIMD
+/// kernels over tokenized record columns (see data/record_columns.h)
+/// instead of calling a string scorer per pair. `left_cols`/`right_cols`
+/// must be built over a SHARED dictionary. Produces the same workload as
+/// the string path when the scorer computes the same metric over the same
+/// attribute (Jaccard over word tokens is bitwise-equal by construction).
+Workload ThresholdBlock(const RecordTable& left, const RecordTable& right,
+                        const RecordColumns& left_cols,
+                        const RecordColumns& right_cols,
+                        text::IdSetMetric metric, double threshold);
+
+/// Id-path overload of sorted-neighborhood blocking: the window sort key
+/// still comes from `attribute_index`'s normalized string, but candidate
+/// scoring runs through the batched id kernels.
+Workload SortedNeighborhoodBlock(const RecordTable& left,
+                                 const RecordTable& right,
+                                 const RecordColumns& left_cols,
+                                 const RecordColumns& right_cols,
+                                 size_t attribute_index, size_t window,
+                                 text::IdSetMetric metric, double threshold);
+
+/// Knobs of the MinHash/LSH blocker. With b bands of r rows each, a pair of
+/// Jaccard similarity s lands in at least one shared bucket with
+/// probability 1 - (1 - s^r)^b; the defaults (16 x 2) put the S-curve's
+/// knee near s ~ 0.25, which keeps recall on real match pairs (s >= ~0.5
+/// after perturbation) above 0.99 while pruning the low-similarity bulk.
+struct MinHashLshOptions {
+  size_t bands = 16;
+  size_t rows = 2;
+  /// Buckets examined per band on the QUERY side (multi-probe): probe 0 is
+  /// the canonical bucket (row-wise minimum hashes); probe p in [1, rows]
+  /// substitutes the record's SECOND-smallest hash in band row p-1 —
+  /// cheap deterministic neighbors that recover pairs whose minima
+  /// narrowly disagree. Clamped to 1 + rows.
+  size_t probes = 2;
+  /// Seeds the per-hash-function parameters through Rng::Stream(seed, h) —
+  /// signatures, buckets, and candidates are pure integer functions of
+  /// (seed, token ids), identical on every machine and thread count.
+  uint64_t seed = 0x15481D3AULL;
+};
+
+/// Deduplicated candidate (left record index, right record index) pairs
+/// emitted by the LSH probe phase, BEFORE scoring — exposed so recall can
+/// be measured against an exact blocker and so benches can time the
+/// scoring kernels on a realistic candidate stream.
+struct LshCandidates {
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+};
+LshCandidates MinHashLshCandidates(const RecordColumns& left_cols,
+                                   const RecordColumns& right_cols,
+                                   const MinHashLshOptions& options);
+
+/// The fourth blocker: banded MinHash/LSH multi-probe candidate generation
+/// over tokenized record columns, batch-scored with the SIMD id kernels and
+/// filtered at `threshold`. Subquadratic and string-free after tokenization;
+/// candidate emission is chunk-id-ordered like the other blockers, so the
+/// result is bit-identical at any thread count. Records with zero tokens
+/// never enter a bucket (an empty set matches nothing under Jaccard).
+Workload MinHashLshBlock(const RecordTable& left, const RecordTable& right,
+                         const RecordColumns& left_cols,
+                         const RecordColumns& right_cols,
+                         const MinHashLshOptions& options,
+                         text::IdSetMetric metric, double threshold);
+
+/// Convenience: tokenizes `attribute_index` of both tables into a shared
+/// dictionary and blocks with Jaccard scoring.
+Workload MinHashLshBlock(const RecordTable& left, const RecordTable& right,
+                         size_t attribute_index,
+                         const MinHashLshOptions& options, double threshold);
 
 /// Statistics describing a blocking run (reduction ratio, pair completeness
 /// against ground truth) — the standard blocking-quality metrics.

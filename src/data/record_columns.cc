@@ -1,0 +1,101 @@
+#include "data/record_columns.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "text/tokenizer.h"
+
+namespace humo::data {
+namespace {
+
+/// Records per tokenization task (string work dominates; small-ish grain
+/// balances skewed attribute lengths).
+constexpr size_t kTokenizeGrain = 256;
+
+}  // namespace
+
+RecordColumns RecordColumns::Build(const RecordTable& table,
+                                   size_t attribute_index,
+                                   text::TokenDictionary* dict) {
+  const size_t n = table.size();
+  RecordColumns cols;
+  cols.offsets_.assign(n + 1, 0);
+  if (n == 0) return cols;
+
+  // Phase 1 (parallel, index-addressed): normalize + tokenize + local sort
+  // and dedup of each record's token STRINGS, with per-token counts. The
+  // string work is the expensive part and is embarrassingly parallel.
+  struct RecordTokens {
+    std::vector<std::string> tokens;  // sorted unique
+    std::vector<uint32_t> counts;     // parallel term frequencies
+  };
+  std::vector<RecordTokens> tokenized(n);
+  ThreadPool::Global()->ParallelFor(
+      n, kTokenizeGrain, [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          std::vector<std::string> toks = text::WordTokens(
+              NormalizeForMatching(table[r].attributes[attribute_index]));
+          std::sort(toks.begin(), toks.end());
+          RecordTokens& out = tokenized[r];
+          for (size_t i = 0; i < toks.size();) {
+            size_t j = i + 1;
+            while (j < toks.size() && toks[j] == toks[i]) ++j;
+            out.counts.push_back(static_cast<uint32_t>(j - i));
+            out.tokens.push_back(std::move(toks[i]));
+            i = j;
+          }
+        }
+      });
+
+  // Phase 2 (serial, record order): intern into the shared dictionary.
+  // Interning order — and with it every id — depends only on the table's
+  // record order, never on scheduling. Per-record ids are then re-sorted:
+  // tokens were sorted lexicographically, but ids are assigned first-seen,
+  // so id order is NOT token order.
+  size_t total = 0;
+  for (const RecordTokens& rt : tokenized) total += rt.tokens.size();
+  cols.token_ids_.reserve(total);
+  cols.term_freq_.reserve(total);
+  std::vector<std::pair<uint32_t, uint32_t>> scratch;  // (id, tf)
+  for (size_t r = 0; r < n; ++r) {
+    const RecordTokens& rt = tokenized[r];
+    scratch.clear();
+    scratch.reserve(rt.tokens.size());
+    for (size_t i = 0; i < rt.tokens.size(); ++i) {
+      scratch.emplace_back(dict->Intern(rt.tokens[i]), rt.counts[i]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    const uint32_t base = cols.offsets_[r];
+    cols.offsets_[r + 1] = base + static_cast<uint32_t>(scratch.size());
+    for (const auto& [id, tf] : scratch) {
+      cols.token_ids_.push_back(id);
+      cols.term_freq_.push_back(tf);
+    }
+    dict->CountDocument(cols.token_ids_.data() + base, scratch.size());
+  }
+  return cols;
+}
+
+void RecordColumns::AttachTfIdf(const text::TfIdfModel& model) {
+  weights_.resize(token_ids_.size());
+  const size_t n = num_records();
+  ThreadPool::Global()->ParallelFor(n, kTokenizeGrain, [&](size_t begin,
+                                                           size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      const uint32_t o = offsets_[r];
+      model.TransformIds(token_ids_.data() + o, term_freq_.data() + o,
+                         offsets_[r + 1] - o, weights_.data() + o);
+    }
+  });
+}
+
+void BatchScorePairs(const RecordColumns& left, const RecordColumns& right,
+                     const uint32_t* left_idx, const uint32_t* right_idx,
+                     size_t num_pairs, text::IdSetMetric metric, double* out) {
+  text::BatchIdSetSimilarity(left.KernelView(), right.KernelView(), left_idx,
+                             right_idx, num_pairs, metric, out);
+}
+
+}  // namespace humo::data

@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "data/perturbation.h"
 #include "stats/sampling.h"
 
 namespace humo::data {
@@ -69,11 +70,15 @@ std::vector<InstancePair> GenerateScalePairs(
   return pairs;
 }
 
-ScaleColumns GenerateScaleColumns(const ScaleWorkloadConfig& config) {
-  const size_t n = config.num_pairs;
-  const size_t num_matches = static_cast<size_t>(
-      std::llround(static_cast<double>(n) * config.match_fraction));
+ScaleColumns GenerateScaleColumnsRange(const ScaleWorkloadConfig& config,
+                                       size_t begin, size_t end) {
+  assert(begin <= end && end <= config.num_pairs);
+  // num_matches is computed from the FULL configured size, so a chunk's
+  // labels agree with the full generation no matter how the range is cut.
+  const size_t num_matches = static_cast<size_t>(std::llround(
+      static_cast<double>(config.num_pairs) * config.match_fraction));
   const double span = config.hi - config.lo;
+  const size_t n = end - begin;
   // Columns filled directly — the 10M-scale path never materializes an
   // AoS struct per pair.
   ScaleColumns c;
@@ -81,20 +86,25 @@ ScaleColumns GenerateScaleColumns(const ScaleWorkloadConfig& config) {
   c.left_ids.resize(n);
   c.right_ids.resize(n);
   c.labels.resize(n);
-  ThreadPool::Global()->ParallelFor(n, kScaleGrain, [&](size_t begin,
-                                                        size_t end) {
-    for (size_t i = begin; i < end; ++i) {
+  ThreadPool::Global()->ParallelFor(n, kScaleGrain, [&](size_t lo,
+                                                        size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      const size_t i = begin + k;
       Rng rng = Rng::Stream(config.seed, static_cast<uint64_t>(i));
-      c.left_ids[i] = static_cast<uint32_t>(i);
-      c.right_ids[i] = static_cast<uint32_t>(i);
+      c.left_ids[k] = static_cast<uint32_t>(i);
+      c.right_ids[k] = static_cast<uint32_t>(i);
       const bool match = i < num_matches;
-      c.labels[i] = match ? 1 : 0;
+      c.labels[k] = match ? 1 : 0;
       const double b =
           match ? SampleMatchSimilarity(&rng) : SampleUnmatchSimilarity(&rng);
-      c.similarities[i] = config.lo + span * b;
+      c.similarities[k] = config.lo + span * b;
     }
   });
   return c;
+}
+
+ScaleColumns GenerateScaleColumns(const ScaleWorkloadConfig& config) {
+  return GenerateScaleColumnsRange(config, 0, config.num_pairs);
 }
 
 Workload GenerateScaleWorkload(const ScaleWorkloadConfig& config) {
@@ -168,8 +178,14 @@ ScaleTables GenerateScaleTables(const ScaleTablesConfig& config) {
         const size_t partner = static_cast<size_t>(rng.NextBelow(L));
         const Record& left_rec = t.left[g * L + partner];
         rec.entity_id = left_rec.entity_id;
-        std::string name = left_rec.attributes[1];
-        name += " " + PseudoWord(&rng, 2, 4);
+        std::string name;
+        if (config.perturb_names) {
+          name = PerturbString(left_rec.attributes[1], config.perturbation,
+                               &rng);
+        } else {
+          name = left_rec.attributes[1];
+          name += " " + PseudoWord(&rng, 2, 4);
+        }
         rec.attributes = {key, std::move(name)};
       } else {
         rec.entity_id = unmatched_base + static_cast<uint32_t>(global);

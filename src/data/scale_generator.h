@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/perturbation.h"
 #include "data/record.h"
 #include "data/workload.h"
 
@@ -54,6 +55,14 @@ struct ScaleColumns {
 };
 ScaleColumns GenerateScaleColumns(const ScaleWorkloadConfig& config);
 
+/// The half-open pair range [begin, end) of the SAME realization as
+/// GenerateScaleColumns — bit-identical to slicing the full output, because
+/// every pair is its own Rng::Stream(seed, i). The out-of-core writer uses
+/// this to stream 10M+ pair workloads to disk chunk by chunk without ever
+/// holding the full columns in RAM.
+ScaleColumns GenerateScaleColumnsRange(const ScaleWorkloadConfig& config,
+                                       size_t begin, size_t end);
+
 /// Preset scales of the scalability study.
 ScaleWorkloadConfig ScaleConfig1M(uint64_t seed = 20260728);
 ScaleWorkloadConfig ScaleConfig5M(uint64_t seed = 20260728);
@@ -71,6 +80,15 @@ struct ScaleTablesConfig {
   /// scorer separates them from in-group non-matches.
   double match_fraction = 0.05;
   uint64_t seed = 777;
+  /// When true, a matched right record's name is derived from its left
+  /// partner's name through the PerturbString model below (typos, token
+  /// drops, abbreviations, swaps) instead of the legacy "append one extra
+  /// pseudo word" — realistic dirty duplicates for blocking-recall studies.
+  /// Default false: the legacy realization is pinned bit-for-bit by
+  /// bench_scale's golden contract. Deterministic either way (the same
+  /// per-record Rng::Stream drives the perturbation draws).
+  bool perturb_names = false;
+  PerturbationOptions perturbation = LightPerturbation();
 };
 
 /// Schema: {block_key, name}. Candidate pairs under TokenBlock on attribute

@@ -8,6 +8,8 @@
 #include <memory>
 #include <numeric>
 
+#include "data/mmap_columns.h"
+
 namespace humo::data {
 namespace {
 
@@ -61,6 +63,74 @@ Workload::Workload(std::vector<InstancePair> pairs) {
   SortBySimilarity();
 }
 
+Workload::Workload(const Workload& other)
+    : similarities_(other.similarities_),
+      left_ids_(other.left_ids_),
+      right_ids_(other.right_ids_),
+      labels_(other.labels_),
+      mmap_(other.mmap_) {
+  SyncViews();
+}
+
+Workload::Workload(Workload&& other) noexcept
+    : similarities_(std::move(other.similarities_)),
+      left_ids_(std::move(other.left_ids_)),
+      right_ids_(std::move(other.right_ids_)),
+      labels_(std::move(other.labels_)),
+      mmap_(std::move(other.mmap_)) {
+  SyncViews();
+  other.SyncViews();
+}
+
+Workload& Workload::operator=(const Workload& other) {
+  if (this != &other) {
+    similarities_ = other.similarities_;
+    left_ids_ = other.left_ids_;
+    right_ids_ = other.right_ids_;
+    labels_ = other.labels_;
+    mmap_ = other.mmap_;
+    SyncViews();
+  }
+  return *this;
+}
+
+Workload& Workload::operator=(Workload&& other) noexcept {
+  if (this != &other) {
+    similarities_ = std::move(other.similarities_);
+    left_ids_ = std::move(other.left_ids_);
+    right_ids_ = std::move(other.right_ids_);
+    labels_ = std::move(other.labels_);
+    mmap_ = std::move(other.mmap_);
+    SyncViews();
+    other.SyncViews();
+  }
+  return *this;
+}
+
+void Workload::SyncViews() {
+  if (mmap_) {
+    num_pairs_ = mmap_->num_pairs();
+    sim_data_ = mmap_->similarities();
+    left_data_ = mmap_->left_ids();
+    right_data_ = mmap_->right_ids();
+    label_data_ = mmap_->labels();
+  } else {
+    num_pairs_ = similarities_.size();
+    sim_data_ = similarities_.data();
+    left_data_ = left_ids_.data();
+    right_data_ = right_ids_.data();
+    label_data_ = labels_.data();
+  }
+}
+
+Workload Workload::FromMmap(std::shared_ptr<MmapColumns> columns) {
+  assert(columns != nullptr);
+  Workload w;
+  w.mmap_ = std::move(columns);
+  w.SyncViews();
+  return w;
+}
+
 Workload Workload::FromColumns(std::vector<uint32_t> left_ids,
                                std::vector<uint32_t> right_ids,
                                std::vector<double> similarities,
@@ -85,6 +155,7 @@ bool Workload::RowLess(size_t a, size_t b) const {
 }
 
 void Workload::ApplyPermutation(const std::vector<size_t>& perm) {
+  assert(!mmap_backed());
   const size_t n = perm.size();
   assert(n == similarities_.size());
   std::vector<double> sims(n);
@@ -101,10 +172,13 @@ void Workload::ApplyPermutation(const std::vector<size_t>& perm) {
   left_ids_ = std::move(lefts);
   right_ids_ = std::move(rights);
   labels_ = std::move(labels);
+  SyncViews();
 }
 
 void Workload::SortBySimilarity() {
+  assert(!mmap_backed());
   const size_t n = similarities_.size();
+  SyncViews();
   if (n < 2) return;
 
   bool sorted = true;
@@ -238,6 +312,7 @@ void Workload::SortBySimilarity() {
   left_ids_.swap(out_lefts);
   right_ids_.swap(out_rights);
   labels_.swap(out_labels);
+  SyncViews();
   if (n > kScratchMaxPairs) {
     // Do not retain huge scratch columns past the call.
     out_sims = {};
@@ -249,6 +324,7 @@ void Workload::SortBySimilarity() {
 }
 
 bool Workload::MergeSorted(std::vector<InstancePair> incoming) {
+  assert(!mmap_backed());
   if (incoming.empty()) return true;
   // Sorting the incoming block reuses the whole radix/tiebreak machinery.
   Workload inc(std::move(incoming));
@@ -263,6 +339,7 @@ bool Workload::MergeSorted(std::vector<InstancePair> incoming) {
     right_ids_.insert(right_ids_.end(), inc.right_ids_.begin(),
                       inc.right_ids_.end());
     labels_.insert(labels_.end(), inc.labels_.begin(), inc.labels_.end());
+    SyncViews();
     return true;
   }
 
@@ -299,6 +376,7 @@ bool Workload::MergeSorted(std::vector<InstancePair> incoming) {
   left_ids_ = std::move(lefts);
   right_ids_ = std::move(rights);
   labels_ = std::move(labels);
+  SyncViews();
   return false;
 }
 
@@ -314,11 +392,10 @@ size_t Workload::IndexOfSorted(const InstancePair& pair) const {
   // Lower bound over the similarity column; the id tiebreak within an
   // equal-similarity run is scanned linearly (runs are ~1 long).
   size_t lo = static_cast<size_t>(
-      std::lower_bound(similarities_.begin(), similarities_.end(),
-                       pair.similarity) -
-      similarities_.begin());
-  for (; lo < n && similarities_[lo] == pair.similarity; ++lo) {
-    if (left_ids_[lo] == pair.left_id && right_ids_[lo] == pair.right_id) {
+      std::lower_bound(sim_data_, sim_data_ + n, pair.similarity) -
+      sim_data_);
+  for (; lo < n && sim_data_[lo] == pair.similarity; ++lo) {
+    if (left_data_[lo] == pair.left_id && right_data_[lo] == pair.right_id) {
       return lo;
     }
   }
@@ -327,12 +404,12 @@ size_t Workload::IndexOfSorted(const InstancePair& pair) const {
 
 size_t Workload::CountMatches() const {
   size_t n = 0;
-  for (uint8_t l : labels_) n += l;
+  for (size_t i = 0; i < num_pairs_; ++i) n += label_data_[i];
   return n;
 }
 
 std::vector<int> Workload::GroundTruthLabels() const {
-  return std::vector<int>(labels_.begin(), labels_.end());
+  return std::vector<int>(label_data_, label_data_ + num_pairs_);
 }
 
 std::vector<size_t> Workload::MatchHistogram(size_t num_buckets, double lo,
@@ -341,8 +418,8 @@ std::vector<size_t> Workload::MatchHistogram(size_t num_buckets, double lo,
   std::vector<size_t> hist(num_buckets, 0);
   const double width = (hi - lo) / static_cast<double>(num_buckets);
   for (size_t i = 0; i < size(); ++i) {
-    if (!labels_[i]) continue;
-    const double sim = similarities_[i];
+    if (!label_data_[i]) continue;
+    const double sim = sim_data_[i];
     if (sim < lo || sim >= hi) continue;
     size_t b = static_cast<size_t>((sim - lo) / width);
     if (b >= num_buckets) b = num_buckets - 1;
@@ -352,17 +429,21 @@ std::vector<size_t> Workload::MatchHistogram(size_t num_buckets, double lo,
 }
 
 void Workload::Add(InstancePair pair) {
+  assert(!mmap_backed());
   similarities_.push_back(pair.similarity);
   left_ids_.push_back(pair.left_id);
   right_ids_.push_back(pair.right_id);
   labels_.push_back(pair.is_match ? 1 : 0);
+  SyncViews();
 }
 
 void Workload::Reserve(size_t n) {
+  assert(!mmap_backed());
   similarities_.reserve(n);
   left_ids_.reserve(n);
   right_ids_.reserve(n);
   labels_.reserve(n);
+  SyncViews();
 }
 
 WorkloadSummary Summarize(const Workload& w) {

@@ -1,13 +1,17 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 
 namespace humo::data {
+
+class MmapColumns;
 
 /// One instance pair d_i of an ER workload: a machine-metric value (pair
 /// similarity, SVM distance mapped to [0,1], or match probability) plus the
@@ -47,10 +51,22 @@ bool PairLess(const InstancePair& a, const InstancePair& b);
 /// The pair-level API (operator[], Add, construction from
 /// std::vector<InstancePair>) is unchanged except that operator[] returns
 /// the pair BY VALUE.
+///
+/// A workload is either RAM-backed (owns its four column vectors — every
+/// constructor below) or MMAP-BACKED (FromMmap: columns served straight
+/// from a read-only MmapColumns file mapping, shared, never copied into
+/// RAM). All reads go through cached raw-pointer views so the two backings
+/// are indistinguishable on the hot paths; mutators and the vector column
+/// accessors require a RAM backing (asserted).
 class Workload {
  public:
   Workload() = default;
   explicit Workload(std::vector<InstancePair> pairs);
+
+  Workload(const Workload& other);
+  Workload(Workload&& other) noexcept;
+  Workload& operator=(const Workload& other);
+  Workload& operator=(Workload&& other) noexcept;
 
   /// Sorts pairs ascending by similarity (id pair breaks ties
   /// deterministically — see PairLess). Runs an O(n) LSD radix sort over
@@ -72,28 +88,53 @@ class Workload {
   /// (oracle answers, subset statistics) stays valid.
   bool MergeSorted(std::vector<InstancePair> incoming);
 
-  size_t size() const { return similarities_.size(); }
-  bool empty() const { return similarities_.empty(); }
+  size_t size() const { return num_pairs_; }
+  bool empty() const { return num_pairs_ == 0; }
 
   /// Materializes pair `i` from the columns. Returned by value: callers
   /// must not retain references/pointers across statements (the usual
   /// `const auto& p = w[i];` still works through lifetime extension).
   InstancePair operator[](size_t i) const {
-    return {left_ids_[i], right_ids_[i], similarities_[i], labels_[i] != 0};
+    return {left_data_[i], right_data_[i], sim_data_[i], label_data_[i] != 0};
   }
 
-  /// Contiguous similarity column (ascending once sorted) — the input of
-  /// partition rebuilds and GP subset averaging.
-  const std::vector<double>& similarities() const { return similarities_; }
-  /// Contiguous record-id columns (provenance).
-  const std::vector<uint32_t>& left_ids() const { return left_ids_; }
-  const std::vector<uint32_t>& right_ids() const { return right_ids_; }
-  /// Contiguous ground-truth column, 1 = match. Only the Oracle and
-  /// evaluation code may read it, same contract as InstancePair::is_match.
-  const std::vector<uint8_t>& match_labels() const { return labels_; }
+  /// Contiguous column views, valid for BOTH backings — the accessors every
+  /// hot path (partition rebuilds, oracle reads, evaluation) must use.
+  /// Non-null whenever size() > 0.
+  const double* similarity_data() const { return sim_data_; }
+  const uint32_t* left_id_data() const { return left_data_; }
+  const uint32_t* right_id_data() const { return right_data_; }
+  /// Ground truth, 1 = match. Only the Oracle and evaluation code may read
+  /// it, same contract as InstancePair::is_match.
+  const uint8_t* label_data() const { return label_data_; }
 
-  double Similarity(size_t i) const { return similarities_[i]; }
-  bool IsMatch(size_t i) const { return labels_[i] != 0; }
+  /// True when the columns live in a read-only file mapping (FromMmap) —
+  /// mutators and the vector accessors below are unavailable.
+  bool mmap_backed() const { return mmap_ != nullptr; }
+
+  /// Contiguous similarity column (ascending once sorted). RAM-backed only.
+  const std::vector<double>& similarities() const {
+    assert(!mmap_backed());
+    return similarities_;
+  }
+  /// Contiguous record-id columns (provenance). RAM-backed only.
+  const std::vector<uint32_t>& left_ids() const {
+    assert(!mmap_backed());
+    return left_ids_;
+  }
+  const std::vector<uint32_t>& right_ids() const {
+    assert(!mmap_backed());
+    return right_ids_;
+  }
+  /// Contiguous ground-truth column, 1 = match (see label_data()).
+  /// RAM-backed only.
+  const std::vector<uint8_t>& match_labels() const {
+    assert(!mmap_backed());
+    return labels_;
+  }
+
+  double Similarity(size_t i) const { return sim_data_[i]; }
+  bool IsMatch(size_t i) const { return label_data_[i] != 0; }
 
   /// AoS copy of every pair, in order — for callers that genuinely need
   /// the struct layout (serialization, external interop). O(n) and O(n)
@@ -131,16 +172,35 @@ class Workload {
                               std::vector<double> similarities,
                               std::vector<uint8_t> labels);
 
+  /// Wraps an already-sorted columnar file mapping (see data/mmap_columns.h)
+  /// as a read-only workload. Zero-copy: reads are served by the kernel's
+  /// page cache, so resolving a 10M-pair workload needs RAM for the
+  /// optimizer state only, not the columns. The mapping is shared — copies
+  /// of this workload stay cheap and views never dangle.
+  static Workload FromMmap(std::shared_ptr<MmapColumns> columns);
+
  private:
   /// True when row a orders strictly before row b under PairLess.
   bool RowLess(size_t a, size_t b) const;
   /// Applies `perm` (new position i takes old row perm[i]) to all columns.
   void ApplyPermutation(const std::vector<size_t>& perm);
+  /// Re-points the raw column views at the current backing (vectors or
+  /// mapping). Every mutation and every copy/move ends with this.
+  void SyncViews();
 
   std::vector<double> similarities_;
   std::vector<uint32_t> left_ids_;
   std::vector<uint32_t> right_ids_;
   std::vector<uint8_t> labels_;
+  /// Non-null for mmap-backed workloads; keeps the mapping alive.
+  std::shared_ptr<MmapColumns> mmap_;
+
+  /// Cached views over the active backing (see SyncViews).
+  const double* sim_data_ = nullptr;
+  const uint32_t* left_data_ = nullptr;
+  const uint32_t* right_data_ = nullptr;
+  const uint8_t* label_data_ = nullptr;
+  size_t num_pairs_ = 0;
 };
 
 /// Summary statistics of a workload, for dataset tables in docs/benches.

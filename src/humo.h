@@ -87,12 +87,14 @@
 #include "core/streaming_resolver.h"
 #include "data/blocking.h"
 #include "data/logistic_generator.h"
+#include "data/mmap_columns.h"
 #include "data/pair_simulator.h"
 #include "data/persistence.h"
 #include "data/perturbation.h"
 #include "data/product_generator.h"
 #include "data/publication_generator.h"
 #include "data/record.h"
+#include "data/record_columns.h"
 #include "data/scale_generator.h"
 #include "data/workload.h"
 #include "data/workload_stream.h"
@@ -118,6 +120,8 @@
 #include "text/edit_distance.h"
 #include "text/jaro.h"
 #include "text/phonetic.h"
+#include "text/simd_similarity.h"
 #include "text/tfidf.h"
+#include "text/token_dictionary.h"
 #include "text/token_similarity.h"
 #include "text/tokenizer.h"

@@ -5,21 +5,74 @@
 
 namespace humo::text {
 
+double TfIdfModel::IdfOfCount(double df) const {
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
+         1.0;
+}
+
 void TfIdfModel::Fit(const std::vector<std::vector<std::string>>& corpus) {
   doc_freq_.clear();
+  idf_.clear();
+  idf_by_id_.clear();
   num_documents_ = corpus.size();
   for (const auto& doc : corpus) {
     std::unordered_set<std::string> seen(doc.begin(), doc.end());
     for (const auto& t : seen) ++doc_freq_[t];
   }
+  idf_.reserve(doc_freq_.size());
+  for (const auto& [tok, df] : doc_freq_) {
+    idf_.emplace(tok, IdfOfCount(static_cast<double>(df)));
+  }
+}
+
+void TfIdfModel::FitDictionary(const TokenDictionary& dict) {
+  doc_freq_.clear();
+  idf_.clear();
+  num_documents_ = dict.num_documents();
+  const auto& df = dict.doc_freq();
+  doc_freq_.reserve(df.size());
+  idf_.reserve(df.size());
+  for (uint32_t id = 0; id < df.size(); ++id) {
+    const std::string& tok = dict.TokenOf(id);
+    doc_freq_.emplace(tok, df[id]);
+    idf_.emplace(tok, IdfOfCount(static_cast<double>(df[id])));
+  }
+  BindDictionary(dict);
 }
 
 double TfIdfModel::Idf(const std::string& token) const {
-  const auto it = doc_freq_.find(token);
-  const double df =
-      (it == doc_freq_.end()) ? 0.0 : static_cast<double>(it->second);
-  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
-         1.0;
+  const auto it = idf_.find(token);
+  if (it != idf_.end()) return it->second;
+  return IdfOfCount(0.0);
+}
+
+void TfIdfModel::BindDictionary(const TokenDictionary& dict) {
+  idf_by_id_.resize(dict.size());
+  for (uint32_t id = 0; id < dict.size(); ++id) {
+    const auto it = doc_freq_.find(dict.TokenOf(id));
+    const double df =
+        it == doc_freq_.end() ? 0.0 : static_cast<double>(it->second);
+    idf_by_id_[id] = IdfOfCount(df);
+  }
+}
+
+double TfIdfModel::IdfById(uint32_t id) const {
+  if (id < idf_by_id_.size()) return idf_by_id_[id];
+  return IdfOfCount(0.0);
+}
+
+void TfIdfModel::TransformIds(const uint32_t* ids, const uint32_t* tf,
+                              size_t n, double* weights) const {
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = static_cast<double>(tf[i]) * IdfById(ids[i]);
+    weights[i] = w;
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (size_t i = 0; i < n; ++i) weights[i] *= inv;
+  }
 }
 
 SparseVector TfIdfModel::Transform(const std::vector<std::string>& doc) const {

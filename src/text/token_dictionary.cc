@@ -1,0 +1,25 @@
+#include "text/token_dictionary.h"
+
+namespace humo::text {
+
+uint32_t TokenDictionary::Intern(std::string_view token) {
+  const auto it = id_by_token_.find(std::string(token));
+  if (it != id_by_token_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  doc_freq_.push_back(0);
+  id_by_token_.emplace(tokens_.back(), id);
+  return id;
+}
+
+uint32_t TokenDictionary::IdOf(std::string_view token) const {
+  const auto it = id_by_token_.find(std::string(token));
+  return it == id_by_token_.end() ? kNoToken : it->second;
+}
+
+void TokenDictionary::CountDocument(const uint32_t* ids, size_t n) {
+  ++num_documents_;
+  for (size_t i = 0; i < n; ++i) ++doc_freq_[ids[i]];
+}
+
+}  // namespace humo::text

@@ -36,6 +36,34 @@ double JaccardSimilarity(std::string_view a, std::string_view b) {
                            WordTokens(NormalizeForMatching(b)));
 }
 
+std::vector<std::string> SortedUniqueTokens(std::string_view s) {
+  std::vector<std::string> tokens = WordTokens(NormalizeForMatching(s));
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+double JaccardSortedUnique(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
 double DiceSimilarity(const std::vector<std::string>& a,
                       const std::vector<std::string>& b) {
   const auto sa = TokenSet(a), sb = TokenSet(b);

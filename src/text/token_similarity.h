@@ -14,8 +14,23 @@ double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
 
 /// Convenience overload: normalizes both strings (lower-case, strip
-/// punctuation), word-tokenizes, and computes Jaccard.
+/// punctuation), word-tokenizes, and computes Jaccard. Re-does that work on
+/// EVERY call — scoring loops that see each record many times should
+/// precompute SortedUniqueTokens once per record and call
+/// JaccardSortedUnique instead (or go all the way to dictionary ids via
+/// data/record_columns.h + simd_similarity.h).
 double JaccardSimilarity(std::string_view a, std::string_view b);
+
+/// The precomputation for the fast path below: normalized, word-tokenized,
+/// sorted, deduplicated tokens of `s`.
+std::vector<std::string> SortedUniqueTokens(std::string_view s);
+
+/// Tokens-precomputed Jaccard fast path: both inputs must be sorted and
+/// unique (as produced by SortedUniqueTokens). A single merge pass — no
+/// hashing, no set allocation — returning exactly the same value as
+/// JaccardSimilarity on the originating strings.
+double JaccardSortedUnique(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
 
 /// Sørensen-Dice coefficient 2|A∩B| / (|A|+|B|).
 double DiceSimilarity(const std::vector<std::string>& a,

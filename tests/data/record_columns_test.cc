@@ -1,0 +1,167 @@
+#include "data/record_columns.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "text/token_similarity.h"
+
+namespace humo::data {
+namespace {
+
+RecordTable SmallTable() {
+  RecordTable t({"name"});
+  EXPECT_TRUE(t.Add({0, 100, {"Alpha beta GAMMA"}}).ok());
+  EXPECT_TRUE(t.Add({1, 101, {"beta beta delta"}}).ok());
+  EXPECT_TRUE(t.Add({2, 102, {""}}).ok());
+  EXPECT_TRUE(t.Add({3, 103, {"gamma alpha"}}).ok());
+  return t;
+}
+
+TEST(RecordColumnsTest, SortedUniqueIdsPerRecord) {
+  text::TokenDictionary dict;
+  const RecordColumns cols = RecordColumns::Build(SmallTable(), 0, &dict);
+  ASSERT_EQ(cols.num_records(), 4u);
+  for (size_t r = 0; r < cols.num_records(); ++r) {
+    const uint32_t* ids = cols.ids(r);
+    for (size_t i = 1; i < cols.num_ids(r); ++i) {
+      EXPECT_LT(ids[i - 1], ids[i]) << "record " << r;
+    }
+  }
+  EXPECT_EQ(cols.num_ids(0), 3u);  // alpha beta gamma
+  EXPECT_EQ(cols.num_ids(1), 2u);  // beta (tf 2), delta
+  EXPECT_EQ(cols.num_ids(2), 0u);  // empty value
+  EXPECT_EQ(cols.num_ids(3), 2u);  // gamma alpha
+}
+
+TEST(RecordColumnsTest, TermFrequencies) {
+  text::TokenDictionary dict;
+  const RecordColumns cols = RecordColumns::Build(SmallTable(), 0, &dict);
+  const uint32_t beta = dict.IdOf("beta");
+  ASSERT_NE(beta, text::TokenDictionary::kNoToken);
+  const uint32_t o = cols.offsets()[1];
+  bool found = false;
+  for (size_t i = 0; i < cols.num_ids(1); ++i) {
+    if (cols.token_ids()[o + i] == beta) {
+      EXPECT_EQ(cols.term_freq()[o + i], 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RecordColumnsTest, DictionaryStatsCountOneDocumentPerRecord) {
+  text::TokenDictionary dict;
+  const RecordColumns cols = RecordColumns::Build(SmallTable(), 0, &dict);
+  (void)cols;
+  EXPECT_EQ(dict.num_documents(), 4u);
+  // "beta" appears in records 0 and 1 (once despite tf 2), "alpha" and
+  // "gamma" in records 0 and 3.
+  EXPECT_EQ(dict.doc_freq()[dict.IdOf("beta")], 2u);
+  EXPECT_EQ(dict.doc_freq()[dict.IdOf("alpha")], 2u);
+  EXPECT_EQ(dict.doc_freq()[dict.IdOf("gamma")], 2u);
+  EXPECT_EQ(dict.doc_freq()[dict.IdOf("delta")], 1u);
+}
+
+TEST(RecordColumnsTest, SharedDictionaryAgreesAcrossTables) {
+  RecordTable left({"name"});
+  ASSERT_TRUE(left.Add({0, 0, {"omega sigma"}}).ok());
+  RecordTable right({"name"});
+  ASSERT_TRUE(right.Add({0, 0, {"sigma kappa"}}).ok());
+  text::TokenDictionary dict;
+  const RecordColumns lc = RecordColumns::Build(left, 0, &dict);
+  const RecordColumns rc = RecordColumns::Build(right, 0, &dict);
+  // "sigma" has ONE id shared by both sides.
+  const uint32_t sigma = dict.IdOf("sigma");
+  bool in_left = false, in_right = false;
+  for (size_t i = 0; i < lc.num_ids(0); ++i)
+    in_left |= lc.ids(0)[i] == sigma;
+  for (size_t i = 0; i < rc.num_ids(0); ++i)
+    in_right |= rc.ids(0)[i] == sigma;
+  EXPECT_TRUE(in_left);
+  EXPECT_TRUE(in_right);
+}
+
+TEST(RecordColumnsTest, IdJaccardBitwiseEqualsStringJaccard) {
+  const RecordTable table = SmallTable();
+  text::TokenDictionary dict;
+  const RecordColumns cols = RecordColumns::Build(table, 0, &dict);
+  for (size_t i = 0; i < table.size(); ++i) {
+    for (size_t j = 0; j < table.size(); ++j) {
+      const double id_sim =
+          text::IdSetSimilarity(cols.ids(i), cols.num_ids(i), cols.ids(j),
+                                cols.num_ids(j), text::IdSetMetric::kJaccard);
+      const double string_sim = text::JaccardSimilarity(
+          table[i].attributes[0], table[j].attributes[0]);
+      // Same integer counts, same division: bitwise equal.
+      EXPECT_EQ(id_sim, string_sim) << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(RecordColumnsTest, AttachTfIdfProducesUnitNorms) {
+  const RecordTable table = SmallTable();
+  text::TokenDictionary dict;
+  RecordColumns cols = RecordColumns::Build(table, 0, &dict);
+  text::TfIdfModel model;
+  model.FitDictionary(dict);
+  cols.AttachTfIdf(model);
+  ASSERT_EQ(cols.weights().size(), cols.token_ids().size());
+  for (size_t r = 0; r < cols.num_records(); ++r) {
+    if (cols.num_ids(r) == 0) continue;
+    double norm = 0.0;
+    const uint32_t o = cols.offsets()[r];
+    for (size_t i = 0; i < cols.num_ids(r); ++i) {
+      norm += cols.weights()[o + i] * cols.weights()[o + i];
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-12) << "record " << r;
+  }
+}
+
+TEST(RecordColumnsTest, BuildDeterministicAcrossThreadCounts) {
+  RecordTable t({"name"});
+  for (uint32_t i = 0; i < 600; ++i) {
+    (void)t.Add({i, i,
+                 {"tok" + std::to_string(i % 17) + " tok" +
+                  std::to_string(i % 5) + " word" + std::to_string(i % 29)}});
+  }
+  ThreadPool::SetGlobalThreads(1);
+  text::TokenDictionary dict1;
+  const RecordColumns c1 = RecordColumns::Build(t, 0, &dict1);
+  ThreadPool::SetGlobalThreads(4);
+  text::TokenDictionary dict4;
+  const RecordColumns c4 = RecordColumns::Build(t, 0, &dict4);
+  ThreadPool::SetGlobalThreads(0);
+  EXPECT_EQ(dict1.size(), dict4.size());
+  EXPECT_EQ(c1.offsets(), c4.offsets());
+  EXPECT_EQ(c1.token_ids(), c4.token_ids());
+  EXPECT_EQ(c1.term_freq(), c4.term_freq());
+}
+
+TEST(BatchScorePairsTest, MatchesPairwiseStringScoring) {
+  const RecordTable table = SmallTable();
+  text::TokenDictionary dict;
+  const RecordColumns cols = RecordColumns::Build(table, 0, &dict);
+  std::vector<uint32_t> li, rj;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      li.push_back(i);
+      rj.push_back(j);
+    }
+  }
+  std::vector<double> scores(li.size());
+  BatchScorePairs(cols, cols, li.data(), rj.data(), li.size(),
+                  text::IdSetMetric::kJaccard, scores.data());
+  for (size_t k = 0; k < li.size(); ++k) {
+    EXPECT_EQ(scores[k],
+              text::JaccardSimilarity(table[li[k]].attributes[0],
+                                      table[rj[k]].attributes[0]))
+        << "pair " << k;
+  }
+}
+
+}  // namespace
+}  // namespace humo::data

@@ -93,6 +93,44 @@ TEST(ScaleGeneratorTest, TablesDriveTokenBlockToExactCandidateCount) {
             unmatch_sum / static_cast<double>(unmatches) + 0.3);
 }
 
+TEST(ScaleGeneratorTest, PerturbedTablesDeterministicAndDistinctFromLegacy) {
+  ScaleTablesConfig legacy_cfg;
+  legacy_cfg.groups = 16;
+  ScaleTablesConfig perturbed_cfg = legacy_cfg;
+  perturbed_cfg.perturb_names = true;
+
+  const ScaleTables p1 = GenerateScaleTables(perturbed_cfg);
+  const ScaleTables p2 = GenerateScaleTables(perturbed_cfg);
+  ASSERT_EQ(p1.right.size(), p2.right.size());
+  for (size_t i = 0; i < p1.right.size(); ++i) {
+    EXPECT_EQ(p1.right[i].entity_id, p2.right[i].entity_id);
+    EXPECT_EQ(p1.right[i].attributes, p2.right[i].attributes);
+  }
+
+  // The knob only rewrites MATCHED right names: left tables and match
+  // structure are identical to the legacy realization, and at least one
+  // matched right name differs from its legacy "append one word" form.
+  const ScaleTables legacy = GenerateScaleTables(legacy_cfg);
+  ASSERT_EQ(legacy.left.size(), p1.left.size());
+  size_t matched = 0, renamed = 0;
+  for (size_t i = 0; i < legacy.left.size(); ++i) {
+    EXPECT_EQ(legacy.left[i].attributes, p1.left[i].attributes);
+  }
+  for (size_t i = 0; i < legacy.right.size(); ++i) {
+    EXPECT_EQ(legacy.right[i].entity_id, p1.right[i].entity_id);
+    const bool is_match = legacy.right[i].entity_id <
+                          legacy_cfg.groups * legacy_cfg.left_per_group;
+    if (!is_match) {
+      EXPECT_EQ(legacy.right[i].attributes, p1.right[i].attributes);
+      continue;
+    }
+    ++matched;
+    renamed += legacy.right[i].attributes[1] != p1.right[i].attributes[1];
+  }
+  EXPECT_GT(matched, 0u);
+  EXPECT_GT(renamed, 0u);
+}
+
 TEST(ScaleGeneratorTest, TablesAreDeterministic) {
   ScaleTablesConfig cfg;
   cfg.groups = 16;

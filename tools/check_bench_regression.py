@@ -25,6 +25,9 @@ The per-bench contract (keyed by the JSON's "bench" field):
   scale           key (scale)        higher-better build_speedup,
                                      partition_speedup
                                      exact         samp_cost, block_pairs
+  records_scale   key (scale)        higher-better simd_speedup, lsh_recall
+                                     exact         lsh_pairs, samp_cost,
+                                                   scores_identical
 
 --selftest proves the gate can actually fail: it fabricates a baseline,
 injects a 25% regression into a copy, and asserts the comparison rejects it
@@ -57,6 +60,12 @@ CONTRACTS = {
         "higher": ("build_speedup", "partition_speedup"),
         "lower": (),
         "exact": ("samp_cost", "block_pairs"),
+    },
+    "records_scale": {
+        "key": ("scale",),
+        "higher": ("simd_speedup", "lsh_recall"),
+        "lower": (),
+        "exact": ("lsh_pairs", "samp_cost", "scores_identical"),
     },
 }
 
