@@ -113,6 +113,16 @@ size_t ThreadPool::DefaultThreadCount() {
 namespace {
 std::mutex g_pool_mu;
 std::unique_ptr<ThreadPool> g_pool;
+/// Pools displaced by SetGlobalThreads. Destroying the outgoing pool in
+/// place was the documented-unsafe hazard: a racing thread that fetched
+/// Global() just before the swap would run ParallelFor on a pool whose
+/// workers were being joined and whose storage was being freed. Parking the
+/// old pool here keeps every previously handed-out pointer valid for the
+/// life of the process — stragglers simply run on the retired pool's thread
+/// count. Retired workers sit idle in their condition wait; the list only
+/// grows by explicit SetGlobalThreads calls (benches and tests), so the
+/// leak is bounded and deliberate.
+std::vector<std::unique_ptr<ThreadPool>> g_retired_pools;
 }  // namespace
 
 ThreadPool* ThreadPool::Global() {
@@ -123,7 +133,13 @@ ThreadPool* ThreadPool::Global() {
 
 void ThreadPool::SetGlobalThreads(size_t num_threads) {
   std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool) g_retired_pools.push_back(std::move(g_pool));
   g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+size_t ThreadPool::RetiredGlobalPools() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_retired_pools.size();
 }
 
 }  // namespace humo

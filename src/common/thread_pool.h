@@ -59,10 +59,17 @@ class ThreadPool {
   static ThreadPool* Global();
 
   /// Replaces the global pool with one of `num_threads` threads (0 =
-  /// DefaultThreadCount()). Intended for benches and tests that sweep a
-  /// thread-count dimension; not safe while another thread is inside
-  /// ParallelFor on the global pool.
+  /// DefaultThreadCount()). Safe under concurrent use: the swap itself is
+  /// atomic (one mutex guards the slot), and the outgoing pool is RETIRED —
+  /// kept alive for the remainder of the process — rather than destroyed,
+  /// so a thread that grabbed Global() before the swap (or is still inside
+  /// ParallelFor on it) keeps a valid pool; it merely finishes on the old
+  /// thread count. The cost is the retired pools' idle workers, which is
+  /// why this remains a bench/test knob, not a serving-path resize.
   static void SetGlobalThreads(size_t num_threads);
+
+  /// Pools parked by SetGlobalThreads and still alive (test visibility).
+  static size_t RetiredGlobalPools();
 
  private:
   struct Job;

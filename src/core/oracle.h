@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -34,11 +35,36 @@ namespace humo::core {
 /// pair (asking twice cannot fix a wrong answer).
 class Oracle {
  public:
+  /// Out-of-band answer source for pairs that have no remembered answer
+  /// yet: receives the distinct unanswered indices of one inspection batch
+  /// (first-occurrence order) and returns one answer per index, parallel to
+  /// the input. The resolution service's bridge onto its asynchronous crowd
+  /// queue. A provider MUST return exactly the answers InlineAnswer()
+  /// computes — routing changes who answers and when, never the values —
+  /// which is what keeps the drain-to-quiescence contract bit-identical to
+  /// the inline run. Cost accounting is unchanged either way.
+  using AnswerProvider =
+      std::function<std::vector<char>(const std::vector<size_t>&)>;
+
   explicit Oracle(const data::Workload* workload, double error_rate = 0.0,
                   uint64_t seed = 99);
 
   /// Human-labels pair `index`; returns true when labeled match.
   bool Label(size_t index);
+
+  /// The deterministic verdict the simulated human gives for `index`:
+  /// ground truth XOR the seeded per-index error flip. Pure (no memory, no
+  /// counters) and safe to call concurrently with const access — this is
+  /// the function an AnswerProvider's crowd workers evaluate so that
+  /// out-of-band answers are indistinguishable from inline ones.
+  bool InlineAnswer(size_t index) const;
+
+  /// Routes fresh inspections through `provider` (nullptr restores inline
+  /// answering). Already-remembered answers are still served from memory
+  /// without consulting the provider.
+  void SetAnswerProvider(AnswerProvider provider) {
+    provider_ = std::move(provider);
+  }
 
   /// Batch inspection: answers for `indices`, parallel to the input. Cost
   /// accounting is identical to calling Label() per index — each DISTINCT
@@ -114,6 +140,7 @@ class Oracle {
   size_t inspected_ = 0;
   size_t preloaded_ = 0;
   PagedAnswerBitmap answers_;
+  AnswerProvider provider_;  // nullptr: answer inline (the default)
 };
 
 }  // namespace humo::core

@@ -1,0 +1,365 @@
+#include "core/resolution_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace humo::core {
+
+// --- ResolutionSnapshot ---
+
+uint64_t ResolutionSnapshot::ComputeChecksum() const {
+  // FNV-1a. One byte per label: a label is 0/1, so the low byte carries it.
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](uint64_t byte) {
+    h ^= byte & 0xFFu;
+    h *= 1099511628211ULL;
+  };
+  const auto mix64 = [&mix](uint64_t v) {
+    for (int b = 0; b < 8; ++b) mix(v >> (8 * b));
+  };
+  mix64(version_);
+  mix64(epochs_ingested_);
+  mix64(num_subsets_);
+  mix64(evidence_pairs_);
+  mix(quality_.has_estimate ? 1u : 0u);
+  mix(quality_.certified ? 1u : 0u);
+  mix64(labels_.size());
+  for (const int label : labels_) mix(static_cast<uint64_t>(label));
+  return h;
+}
+
+// --- AsyncOracleQueue ---
+
+AsyncOracleQueue::AsyncOracleQueue(ComputeFn compute, size_t workers)
+    : compute_(std::move(compute)) {
+  workers_.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncOracleQueue::~AsyncOracleQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::vector<char> AsyncOracleQueue::InspectBlocking(
+    const std::vector<size_t>& indices) {
+  batches_inspected_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<char> answers(indices.size());
+  if (indices.empty()) return answers;
+  if (workers_.empty()) {
+    // Synchronous crowd: the caller is the only human.
+    for (size_t t = 0; t < indices.size(); ++t) {
+      answers[t] = compute_(indices[t]) ? 1 : 0;
+    }
+    answers_produced_.fetch_add(indices.size(), std::memory_order_relaxed);
+    return answers;
+  }
+  Batch batch;
+  batch.indices = &indices;
+  batch.answers = &answers;
+  batch.remaining = indices.size();
+  const size_t num_chunks = (indices.size() + kChunk - 1) / kChunk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      Task task;
+      task.batch = &batch;
+      tasks_.push_back(std::move(task));
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return batch.done; });
+  return answers;
+}
+
+void AsyncOracleQueue::SubmitReview(const data::InstancePair& pair,
+                                    bool answer) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty()) {
+      // Synchronous crowd: the verdict is delivered immediately; it still
+      // folds in only at the next epoch boundary.
+      completed_.push_back({pair, answer});
+      answers_produced_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Task task;
+    task.review = {pair, answer};
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+std::vector<AsyncOracleQueue::CompletedReview>
+AsyncOracleQueue::TakeCompleted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CompletedReview> out;
+  out.swap(completed_);
+  return out;
+}
+
+size_t AsyncOracleQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size() + in_flight_;
+}
+
+size_t AsyncOracleQueue::completed_unfolded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_.size();
+}
+
+void AsyncOracleQueue::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void AsyncOracleQueue::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (stop_) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+    }
+    bool batch_done = false;
+    if (task.batch != nullptr) {
+      batch_done = RunChunk(task.batch);
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_.push_back(std::move(task.review));
+      answers_produced_.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      idle = tasks_.empty() && in_flight_ == 0;
+    }
+    if (batch_done || idle) done_cv_.notify_all();
+  }
+}
+
+bool AsyncOracleQueue::RunChunk(Batch* batch) {
+  size_t begin = 0, end = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    begin = batch->next;
+    end = std::min(batch->indices->size(), begin + kChunk);
+    batch->next = end;
+  }
+  // Answers land in index-addressed slots of the requester's output vector;
+  // chunks write disjoint ranges, so the assembled batch is deterministic
+  // no matter which worker finishes when.
+  for (size_t t = begin; t < end; ++t) {
+    (*batch->answers)[t] = compute_((*batch->indices)[t]) ? 1 : 0;
+  }
+  answers_produced_.fetch_add(end - begin, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  batch->remaining -= end - begin;
+  if (batch->remaining == 0) {
+    batch->done = true;
+    return true;
+  }
+  return false;
+}
+
+// --- ResolutionService ---
+
+ResolutionService::ResolutionService(ResolutionServiceOptions options,
+                                     QualityRequirement req)
+    : options_(options),
+      req_(req),
+      resolver_(options_.streaming, req_),
+      queue_([this](size_t index) { return resolver_.oracle().InlineAnswer(index); },
+             options_.crowd_workers) {
+  // Fresh certification inspections flow through the crowd queue. The crowd
+  // workers' compute function reads the resolver's workload, which is only
+  // safe because certification holds the writer lock for its whole duration
+  // — nothing can merge columns under a worker mid-answer.
+  resolver_.SetOracleAnswerProvider(
+      [this](const std::vector<size_t>& indices) {
+        return queue_.InspectBlocking(indices);
+      });
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PublishLocked();  // version 1: the empty snapshot, so snapshot() != null
+}
+
+ResolutionService::~ResolutionService() {
+  // Join the certifier BEFORE queue_ is destroyed: its InspectBlocking
+  // batches need live workers to complete. Review tasks still queued after
+  // the join never touch the resolver (their verdicts were precomputed at
+  // enqueue time) and are dropped with the queue.
+  std::lock_guard<std::mutex> admin(cert_admin_mu_);
+  JoinCertifierLocked();
+}
+
+EpochReport ResolutionService::Ingest(data::Shard shard) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Epoch boundary: fold BEFORE the merge, so the resolver's own re-keying
+  // carries the folded answers across an interior merge like any others.
+  FoldCompletedReviewsLocked();
+  EpochReport report = resolver_.Ingest(std::move(shard));
+  PublishLocked();
+  return report;
+}
+
+bool ResolutionService::RequestCertification() {
+  std::lock_guard<std::mutex> admin(cert_admin_mu_);
+  if (cert_running_.load(std::memory_order_acquire)) return false;
+  JoinCertifierLocked();
+  cert_running_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> start(cert_start_mu_);
+    cert_started_ = false;
+  }
+  cert_thread_ = std::thread([this] { RunCertification(); });
+  // Block until the certifier owns the writer lock: the caller's next
+  // Ingest then provably serializes AFTER the certification, pinning the
+  // certified prefix to the epochs ingested before this call.
+  std::unique_lock<std::mutex> start(cert_start_mu_);
+  cert_start_cv_.wait(start, [this] { return cert_started_; });
+  return true;
+}
+
+void ResolutionService::RunCertification() {
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    {
+      std::lock_guard<std::mutex> start(cert_start_mu_);
+      cert_started_ = true;
+    }
+    cert_start_cv_.notify_all();
+    FoldCompletedReviewsLocked();
+    last_cert_ = resolver_.Certify();
+    PublishLocked();
+  }
+  cert_running_.store(false, std::memory_order_release);
+}
+
+size_t ResolutionService::EnqueueReview(
+    const std::vector<data::InstancePair>& pairs) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  size_t enqueued = 0;
+  for (const data::InstancePair& pair : pairs) {
+    const size_t idx = resolver_.cumulative().IndexOfSorted(pair);
+    if (idx >= resolver_.cumulative().size()) continue;  // not arrived yet
+    if (resolver_.oracle().WasAsked(idx)) continue;      // already answered
+    // The verdict is computed HERE, under the writer lock, against the
+    // current index — a review answer is a pure function of the pair, so
+    // computing it at submit time and delivering it later changes latency,
+    // never the value. (Workers must not compute review answers themselves:
+    // the pair's index shifts under interior merges.)
+    queue_.SubmitReview(pair, resolver_.oracle().InlineAnswer(idx));
+    ++enqueued;
+  }
+  reviews_enqueued_.fetch_add(enqueued, std::memory_order_relaxed);
+  return enqueued;
+}
+
+Result<StreamingCertificate> ResolutionService::DrainToQuiescence() {
+  {
+    std::lock_guard<std::mutex> admin(cert_admin_mu_);
+    JoinCertifierLocked();
+  }
+  queue_.WaitIdle();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (FoldCompletedReviewsLocked() > 0) PublishLocked();
+  if (!last_cert_.has_value()) {
+    return Status::FailedPrecondition(
+        "DrainToQuiescence: no certification was requested");
+  }
+  return *last_cert_;
+}
+
+std::shared_ptr<const ResolutionSnapshot> ResolutionService::snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+std::optional<int> ResolutionService::LabelOf(size_t index) const {
+  const std::shared_ptr<const ResolutionSnapshot> snap = snapshot();
+  if (index >= snap->pairs()) return std::nullopt;
+  return snap->LabelOf(index);
+}
+
+std::optional<int> ResolutionService::LabelOfPair(
+    const data::InstancePair& pair) const {
+  const std::shared_ptr<const ResolutionSnapshot> snap = snapshot();
+  const std::optional<size_t> idx = snap->Find(pair);
+  if (!idx.has_value()) return std::nullopt;
+  return snap->LabelOf(*idx);
+}
+
+size_t ResolutionService::FoldCompletedReviewsLocked() {
+  std::vector<AsyncOracleQueue::CompletedReview> pending =
+      std::move(deferred_reviews_);
+  deferred_reviews_.clear();
+  {
+    std::vector<AsyncOracleQueue::CompletedReview> fresh =
+        queue_.TakeCompleted();
+    pending.insert(pending.end(), fresh.begin(), fresh.end());
+  }
+  size_t folded = 0;
+  for (const AsyncOracleQueue::CompletedReview& review : pending) {
+    if (resolver_.PreloadEvidence(review.pair, review.answer)) {
+      ++folded;
+    } else {
+      // The pair is not in the cumulative workload (a verdict that outpaced
+      // its shard); keep it for the next boundary.
+      deferred_reviews_.push_back(review);
+    }
+  }
+  reviews_folded_.fetch_add(folded, std::memory_order_relaxed);
+  return folded;
+}
+
+void ResolutionService::PublishLocked() {
+  // Refresh the provisional serving state first: when no evidence arrived
+  // since the last refresh this is a structural no-op (pins stay valid, no
+  // refit), so publishing never perturbs the resolver's deterministic state
+  // — a service run and a bare-resolver run through the same schedule stay
+  // bit-identical.
+  const EpochReport report = resolver_.RefreshServing();
+
+  auto snap = std::make_shared<ResolutionSnapshot>();
+  snap->version_ = publish_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap->epochs_ingested_ = resolver_.epochs_ingested();
+  snap->num_subsets_ = report.num_subsets;
+  snap->subset_size_ = options_.streaming.subset_size;
+  snap->evidence_pairs_ = report.evidence_pairs;
+  snap->quality_.has_estimate = report.has_estimate;
+  snap->quality_.precision = report.est_precision;
+  snap->quality_.recall = report.est_recall;
+
+  // Serve certificate labels only while the certificate is CURRENT: issued
+  // at this epoch, covering every pair, with no evidence folded since
+  // (total_inspections moved => review answers the certificate never saw).
+  const StreamingCertificate* cert = resolver_.last_certificate();
+  const bool cert_current =
+      cert != nullptr && cert->epoch == resolver_.epochs_ingested() &&
+      cert->resolution.labels.size() == resolver_.cumulative().size() &&
+      cert->total_inspections == resolver_.total_inspections();
+  snap->quality_.certified = cert_current && cert->certified;
+  snap->labels_ =
+      cert_current ? cert->resolution.labels : resolver_.provisional_labels();
+  snap->workload_ = std::make_shared<data::Workload>(resolver_.cumulative());
+  snap->checksum_ = snap->ComputeChecksum();
+
+  std::atomic_store(&snapshot_,
+                    std::shared_ptr<const ResolutionSnapshot>(std::move(snap)));
+}
+
+void ResolutionService::JoinCertifierLocked() {
+  if (cert_thread_.joinable()) cert_thread_.join();
+}
+
+}  // namespace humo::core

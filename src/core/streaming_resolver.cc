@@ -304,6 +304,24 @@ void StreamingResolver::RefreshProvisional(EpochReport* report) {
   }
 }
 
+bool StreamingResolver::PreloadEvidence(const data::InstancePair& pair,
+                                        bool answer) {
+  const size_t idx = cumulative_.IndexOfSorted(pair);
+  if (idx >= cumulative_.size()) return false;
+  oracle_.Preload(idx, answer);
+  return true;
+}
+
+EpochReport StreamingResolver::RefreshServing() {
+  EpochReport report;
+  report.epoch = epochs_ingested_;
+  RefreshProvisional(&report);
+  report.pairs_total = cumulative_.size();
+  report.num_subsets = partition_.num_subsets();
+  report.evidence_pairs = total_inspections();
+  return report;
+}
+
 size_t StreamingResolver::IndexOf(const data::InstancePair& pair) const {
   // Column-based binary search over the sorted similarity column — no AoS
   // materialization of the cumulative workload.

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -183,8 +184,37 @@ class StreamingResolver {
     return provisional_labels_;
   }
 
-  const std::vector<EpochReport>& reports() const { return reports_; }
+  /// Every epoch's report in ingest order. A deque on purpose: push_back
+  /// never moves existing elements, so the references Ingest() hands out
+  /// stay valid for the resolver's lifetime (a std::vector here silently
+  /// dangled them on the next Ingest's reallocation).
+  const std::deque<EpochReport>& reports() const { return reports_; }
   size_t epochs_ingested() const { return epochs_ingested_; }
+
+  /// Seeds an out-of-band human answer (the async-queue fold-in hook):
+  /// locates `pair` by identity — (left, right, similarity), robust to the
+  /// index shifts interior merges cause — and preloads the answer into the
+  /// oracle (free, idempotent; see Oracle::Preload). Returns false when the
+  /// pair is not part of the cumulative workload yet, in which case the
+  /// caller keeps the answer pending for a later epoch. Call
+  /// RefreshServing() after a fold-in burst so the provisional labeling and
+  /// estimates see the new evidence.
+  bool PreloadEvidence(const data::InstancePair& pair, bool answer);
+
+  /// Recomputes the provisional serving state (evidence strata, GP,
+  /// labels, plug-in estimates) from the current evidence and returns a
+  /// report carrying the fresh estimate fields. Unlike Ingest, nothing is
+  /// appended to reports() — this is the post-fold refresh for callers of
+  /// PreloadEvidence.
+  EpochReport RefreshServing();
+
+  /// Routes the oracle's fresh inspections through `provider` — the
+  /// resolution service's bridge onto its asynchronous crowd queue (see
+  /// Oracle::AnswerProvider for the exactness contract). nullptr restores
+  /// inline answering.
+  void SetOracleAnswerProvider(Oracle::AnswerProvider provider) {
+    oracle_.SetAnswerProvider(std::move(provider));
+  }
 
   /// Lifetime provisional-GP refit counters: how often the serving model
   /// was extended in place (GpRegression::ExtendedWith rank-k append) vs
@@ -232,7 +262,7 @@ class StreamingResolver {
   size_t epochs_ingested_ = 0;
   size_t retired_requests_ = 0;    // request counters retired by re-keying
   size_t retired_duplicates_ = 0;
-  std::vector<EpochReport> reports_;
+  std::deque<EpochReport> reports_;  // stable element refs; see reports()
   std::optional<StreamingCertificate> last_certificate_;
 
   /// Provisional (machine-only) serving state.

@@ -55,6 +55,19 @@
 ///   while (stream.Next(&shard)) streaming.Ingest(std::move(shard));
 ///   auto cert = streaming.Certify();  // == the one-shot result, bit for bit
 ///
+/// To SERVE lookups while that stream is still arriving, wrap the resolver
+/// in the resolution service (core/resolution_service.h): every mutation
+/// publishes an immutable snapshot readers access wait-free through an
+/// atomic shared_ptr, certification runs on a background thread whose
+/// fresh inspections an asynchronous crowd queue answers out of band, and
+/// draining to quiescence reproduces the synchronous resolver bit for bit:
+///
+///   core::ResolutionService service({/*streaming=*/{}}, req);
+///   while (stream.Next(&shard)) service.Ingest(std::move(shard));
+///   service.RequestCertification();        // returns immediately
+///   auto label = service.LabelOfPair(p);   // wait-free, any thread
+///   auto cert = service.DrainToQuiescence();  // == streaming.Certify()
+///
 /// Machine-side heavy paths (GP kernel matrices, Cholesky factorization,
 /// workload simulation) run on a thread pool sized by the HUMO_NUM_THREADS
 /// environment variable (default: hardware concurrency); results are
@@ -81,6 +94,7 @@
 #include "core/paged_bitmap.h"
 #include "core/partial_sampling_optimizer.h"
 #include "core/partition.h"
+#include "core/resolution_service.h"
 #include "core/risk_aware_optimizer.h"
 #include "core/risk_model.h"
 #include "core/solution.h"

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -125,6 +126,51 @@ TEST(RngStreamTest, DistinctStreamsDiffer) {
   const uint64_t va = a.NextUint64(), vb = b.NextUint64(), vc = c.NextUint64();
   EXPECT_NE(va, vb);
   EXPECT_NE(va, vc);
+}
+
+/// ISSUE 7 satellite: SetGlobalThreads used to destroy the outgoing pool in
+/// place while other threads could still be running ParallelFor on it (the
+/// documented hazard). The swap now retires the old pool instead; hammer
+/// Global()->ParallelFor from several threads while the main thread swaps
+/// repeatedly and verify every loop still covers its range exactly once.
+TEST(ThreadPoolTest, ConcurrentGlobalSwapKeepsLoopsValid) {
+  const size_t retired_before = ThreadPool::RetiredGlobalPools();
+  constexpr size_t kHammerThreads = 4;
+  constexpr size_t kSwaps = 50;
+  constexpr size_t kN = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<size_t> loops_run{0};
+  std::vector<std::thread> hammers;
+  hammers.reserve(kHammerThreads);
+  for (size_t h = 0; h < kHammerThreads; ++h) {
+    hammers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        std::vector<char> hit(kN, 0);
+        // The pool grabbed here may be retired mid-loop; it must stay
+        // fully functional regardless.
+        ThreadPool::Global()->ParallelFor(kN, 64,
+                                          [&](size_t begin, size_t end) {
+                                            for (size_t i = begin; i < end;
+                                                 ++i)
+                                              ++hit[i];
+                                          });
+        for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hit[i], 1) << i;
+        loops_run.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (size_t s = 0; s < kSwaps; ++s) {
+    ThreadPool::SetGlobalThreads(1 + s % 4);
+  }
+  // Let the hammers demonstrably run against the final pool too.
+  const size_t target = loops_run.load() + kHammerThreads;
+  while (loops_run.load() < target) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (auto& t : hammers) t.join();
+  // The first swap retires nothing when no global pool existed yet.
+  EXPECT_GE(ThreadPool::RetiredGlobalPools(), retired_before + kSwaps - 1);
+  EXPECT_GT(loops_run.load(), 0u);
+  ThreadPool::SetGlobalThreads(0);  // back to the environment default
 }
 
 TEST(ThreadPoolTest, GlobalPoolResizable) {

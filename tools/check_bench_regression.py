@@ -28,6 +28,9 @@ The per-bench contract (keyed by the JSON's "bench" field):
   records_scale   key (scale)        higher-better simd_speedup, lsh_recall
                                      exact         lsh_pairs, samp_cost,
                                                    scores_identical
+  serving         key (workload,     higher-better lookups_per_sec
+                  pairs, shards,     exact         drained_equals_synchronous,
+                  readers)                         snapshots_consistent
 
 --selftest proves the gate can actually fail: it fabricates a baseline,
 injects a 25% regression into a copy, and asserts the comparison rejects it
@@ -66,6 +69,12 @@ CONTRACTS = {
         "higher": ("simd_speedup", "lsh_recall"),
         "lower": (),
         "exact": ("lsh_pairs", "samp_cost", "scores_identical"),
+    },
+    "serving": {
+        "key": ("workload", "pairs", "shards", "readers"),
+        "higher": ("lookups_per_sec",),
+        "lower": (),
+        "exact": ("drained_equals_synchronous", "snapshots_consistent"),
     },
 }
 
