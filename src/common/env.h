@@ -9,6 +9,10 @@ namespace humo {
 /// unparsable. Used by the benchmark harness for knobs like HUMO_TRIALS.
 int64_t GetEnvInt64(const char* name, int64_t fallback);
 
+/// Reads an environment variable as double, returning `fallback` when unset
+/// or unparsable.
+double GetEnvDouble(const char* name, double fallback);
+
 /// Reads an environment variable as string.
 std::string GetEnvString(const char* name, const std::string& fallback);
 

@@ -25,6 +25,9 @@ uint64_t ResolutionSnapshot::ComputeChecksum() const {
   mix(quality_.certified ? 1u : 0u);
   mix64(labels_.size());
   for (const int label : labels_) mix(static_cast<uint64_t>(label));
+  // The entity view is derived state, but folding its checksum in means a
+  // torn clustering is as detectable as a torn label vector.
+  mix64(entities_ != nullptr ? entities_->Checksum() : 0);
   return h;
 }
 
@@ -299,6 +302,11 @@ std::optional<int> ResolutionService::LabelOfPair(
   return snap->LabelOf(*idx);
 }
 
+std::optional<uint32_t> ResolutionService::EntityOfRecord(
+    entity::RecordRef record) const {
+  return snapshot()->EntityOf(record);
+}
+
 size_t ResolutionService::FoldCompletedReviewsLocked() {
   std::vector<AsyncOracleQueue::CompletedReview> pending =
       std::move(deferred_reviews_);
@@ -352,6 +360,11 @@ void ResolutionService::PublishLocked() {
   snap->labels_ =
       cert_current ? cert->resolution.labels : resolver_.provisional_labels();
   snap->workload_ = std::make_shared<data::Workload>(resolver_.cumulative());
+  // Entity view: canonical clustering of the served labels, frozen with the
+  // snapshot so EntityOf/MembersOf reads stay wait-free.
+  snap->entities_ = std::make_shared<entity::EntityClustering>(
+      entity::EntityClustering::FromLabels(*snap->workload_, snap->labels_,
+                                           options_.entity));
   snap->checksum_ = snap->ComputeChecksum();
 
   std::atomic_store(&snapshot_,

@@ -16,6 +16,7 @@
 #include "core/streaming_resolver.h"
 #include "data/workload.h"
 #include "data/workload_stream.h"
+#include "entity/entity_clustering.h"
 
 namespace humo::core {
 
@@ -70,6 +71,30 @@ class ResolutionSnapshot {
     return out;
   }
 
+  /// This snapshot's own sorted workload copy (identity columns; ground
+  /// truth stays behind the Oracle contract).
+  const data::Workload& workload() const { return *workload_; }
+
+  /// ENTITY VIEW of this snapshot: the canonical clustering of the served
+  /// labels, built once at publish time and frozen with the rest of the
+  /// snapshot. Reads are wait-free — a binary search / CSR slice over
+  /// immutable storage, same contract as labels().
+  const entity::EntityClustering& entities() const { return *entities_; }
+
+  /// Entity of `record` under this snapshot's labels, or nullopt when the
+  /// record has not been mentioned by any ingested pair.
+  std::optional<uint32_t> EntityOf(entity::RecordRef record) const {
+    return entities_->EntityOf(record);
+  }
+
+  /// Members of entity `entity`, ascending record order. The view points
+  /// into the snapshot's storage — valid while the snapshot is held.
+  entity::EntityClustering::MemberRange MembersOf(uint32_t entity) const {
+    return entities_->MembersOf(entity);
+  }
+
+  size_t num_entities() const { return entities_->num_entities(); }
+
   /// FNV-1a over the scalar fields and the label bytes, computed once at
   /// publish time. Validate() recomputes it — the stress tests' proof that
   /// no reader can observe a torn or half-published snapshot.
@@ -93,6 +118,8 @@ class ResolutionSnapshot {
   /// resolver ones). Shared so later snapshots of an unchanged workload
   /// could alias it; today every publish copies.
   std::shared_ptr<const data::Workload> workload_;
+  /// Entity clustering of labels_ over workload_, built at publish time.
+  std::shared_ptr<const entity::EntityClustering> entities_;
   uint64_t checksum_ = 0;
 };
 
@@ -193,6 +220,9 @@ struct ResolutionServiceOptions {
   StreamingOptions streaming;
   /// Crowd worker threads answering queue traffic; 0 = synchronous crowd.
   size_t crowd_workers = 2;
+  /// How the workload's id columns map onto record sources for the
+  /// snapshot's entity view (default: two-table ER).
+  entity::ClusteringOptions entity;
 };
 
 /// Always-on serving layer over StreamingResolver: separates MUTATION
@@ -285,6 +315,10 @@ class ResolutionService {
   /// Label of `pair` by identity in the latest snapshot, or nullopt when
   /// the pair has not arrived yet.
   std::optional<int> LabelOfPair(const data::InstancePair& pair) const;
+
+  /// Entity of `record` in the latest snapshot's entity view, or nullopt
+  /// when the record has not been mentioned yet. Wait-free, like LabelOf.
+  std::optional<uint32_t> EntityOfRecord(entity::RecordRef record) const;
 
   QualityEstimate EstimatedQuality() const { return snapshot()->quality(); }
 

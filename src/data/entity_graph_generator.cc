@@ -1,0 +1,199 @@
+#include "data/entity_graph_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace humo::data {
+namespace {
+
+/// Fixed-point scale for the Bresenham rounding of fractional per-record
+/// cross-pair rates (exact aggregate count, no floating-point drift).
+constexpr uint64_t kRateScale = 1'000'000;
+
+uint64_t RateFixed(double rate) {
+  return rate <= 0.0 ? 0 : static_cast<uint64_t>(rate * kRateScale + 0.5);
+}
+
+/// Cross pairs owned by global record r: Bresenham share of the rate,
+/// floored at one so every record is mentioned by the workload.
+size_t CrossPairsOfRecord(uint64_t r, uint64_t rate_fp) {
+  const uint64_t share = (r + 1) * rate_fp / kRateScale - r * rate_fp / kRateScale;
+  return std::max<uint64_t>(1, share);
+}
+
+size_t CrossPairsOfRange(uint64_t begin, uint64_t end, uint64_t rate_fp) {
+  size_t total = 0;
+  for (uint64_t r = begin; r < end; ++r) {
+    total += CrossPairsOfRecord(r, rate_fp);
+  }
+  return total;
+}
+
+size_t IntraPairsOfEntity(size_t size, double extra_intra_fraction) {
+  if (size < 2) return 0;
+  return (size - 1) +
+         static_cast<size_t>(extra_intra_fraction * static_cast<double>(size));
+}
+
+/// Deterministic layout of the realization: entity sizes (one Rng::Stream
+/// per entity), record bases, and per-entity pair bases. Pair counts are
+/// pure functions of the sizes, so the layout fixes every column slot
+/// before any edge is drawn.
+struct Layout {
+  std::vector<uint32_t> sizes;
+  std::vector<uint64_t> record_base;  // num_entities + 1
+  std::vector<uint64_t> pair_base;    // num_entities + 1
+  uint64_t rate_fp = 0;
+};
+
+Layout ComputeLayout(const EntityGraphConfig& config) {
+  assert(config.min_entity_size >= 1);
+  assert(config.max_entity_size >= config.min_entity_size);
+  Layout layout;
+  const size_t ne = config.num_entities;
+  layout.rate_fp = RateFixed(config.cross_pairs_per_record);
+  layout.sizes.assign(ne, 0);
+  const uint64_t span = config.max_entity_size - config.min_entity_size + 1;
+  ThreadPool::Global()->ParallelFor(ne, 4096, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      Rng rng = Rng::Stream(config.seed, i * 4);
+      layout.sizes[i] =
+          static_cast<uint32_t>(config.min_entity_size + rng.NextBelow(span));
+    }
+  });
+  layout.record_base.assign(ne + 1, 0);
+  layout.pair_base.assign(ne + 1, 0);
+  for (size_t e = 0; e < ne; ++e) {
+    layout.record_base[e + 1] = layout.record_base[e] + layout.sizes[e];
+    const size_t pairs =
+        IntraPairsOfEntity(layout.sizes[e], config.extra_intra_fraction) +
+        CrossPairsOfRange(layout.record_base[e], layout.record_base[e + 1],
+                          layout.rate_fp);
+    layout.pair_base[e + 1] = layout.pair_base[e] + pairs;
+  }
+  return layout;
+}
+
+}  // namespace
+
+size_t EntityGraphPairCount(const EntityGraphConfig& config) {
+  return ComputeLayout(config).pair_base.back();
+}
+
+EntityGraph GenerateEntityGraph(const EntityGraphConfig& config) {
+  const Layout layout = ComputeLayout(config);
+  const size_t ne = config.num_entities;
+  const size_t num_records = layout.record_base.back();
+  const size_t num_pairs = layout.pair_base.back();
+
+  EntityGraph out;
+  out.num_entities = ne;
+  out.num_records = num_records;
+  out.entity_of_record.assign(num_records, 0);
+  ThreadPool::Global()->ParallelFor(ne, 1024, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      for (uint64_t r = layout.record_base[i]; r < layout.record_base[i + 1];
+           ++r) {
+        out.entity_of_record[r] = static_cast<uint32_t>(i);
+      }
+    }
+  });
+
+  std::vector<uint32_t> left(num_pairs), right(num_pairs);
+  std::vector<double> sims(num_pairs);
+  std::vector<uint8_t> labels(num_pairs);
+
+  // One entity = one Rng::Stream = one disjoint slice of the columns, so
+  // the fan-out is bit-identical at any thread count.
+  ThreadPool::Global()->ParallelFor(ne, 64, [&](size_t b, size_t e) {
+    for (size_t ent = b; ent < e; ++ent) {
+      Rng rng = Rng::Stream(config.seed, ent * 4 + 2);
+      const uint64_t base = layout.record_base[ent];
+      const uint32_t size = layout.sizes[ent];
+      size_t cursor = layout.pair_base[ent];
+      const auto emit = [&](uint32_t a, uint32_t bb) {
+        const bool match =
+            out.entity_of_record[a] == out.entity_of_record[bb];
+        left[cursor] = a;
+        right[cursor] = bb;
+        labels[cursor] = match ? 1 : 0;
+        sims[cursor] =
+            match ? rng.NextDouble(config.match_sim_lo, config.match_sim_hi)
+                  : rng.NextDouble(config.nonmatch_sim_lo,
+                                   config.nonmatch_sim_hi);
+        ++cursor;
+      };
+      // Spanning path: keeps the latent entity connected in the match graph.
+      for (uint32_t j = 1; j < size; ++j) {
+        emit(static_cast<uint32_t>(base + j - 1),
+             static_cast<uint32_t>(base + j));
+      }
+      // Extra intra-entity pairs (redundant match evidence).
+      if (size >= 2) {
+        const size_t extra =
+            IntraPairsOfEntity(size, config.extra_intra_fraction) - (size - 1);
+        for (size_t k = 0; k < extra; ++k) {
+          const uint32_t a = static_cast<uint32_t>(base + rng.NextBelow(size));
+          uint32_t bb = a;
+          while (bb == a) {
+            bb = static_cast<uint32_t>(base + rng.NextBelow(size));
+          }
+          emit(a, bb);
+        }
+      }
+      // Cross pairs: each record draws partners anywhere in the record
+      // universe. Mostly non-matches; a draw landing in the same entity is
+      // just more (correctly labeled) match evidence.
+      for (uint64_t r = base; r < base + size; ++r) {
+        const size_t k = CrossPairsOfRecord(r, layout.rate_fp);
+        for (size_t j = 0; j < k; ++j) {
+          uint32_t other = static_cast<uint32_t>(r);
+          while (other == r && num_records > 1) {
+            other = static_cast<uint32_t>(rng.NextBelow(num_records));
+          }
+          emit(static_cast<uint32_t>(r), other);
+        }
+      }
+      assert(cursor == layout.pair_base[ent + 1]);
+    }
+  });
+
+  out.workload = Workload::FromColumns(std::move(left), std::move(right),
+                                       std::move(sims), std::move(labels));
+  return out;
+}
+
+EntityGraphConfig EntityGraphConfigForPairs(size_t target_pairs,
+                                            uint64_t seed) {
+  EntityGraphConfig config;
+  config.seed = seed;
+  // ~9.5 pairs per entity at the default knobs; start below and grow.
+  config.num_entities = std::max<size_t>(1, target_pairs / 10);
+  size_t count = EntityGraphPairCount(config);
+  while (count < target_pairs) {
+    const size_t deficit = target_pairs - count;
+    config.num_entities += std::max<size_t>(1, deficit / 12);
+    count = EntityGraphPairCount(config);
+  }
+  return config;
+}
+
+std::vector<int> NoisyLabels(const Workload& workload, double flip_fraction,
+                             uint64_t seed) {
+  const size_t n = workload.size();
+  const uint8_t* truth = workload.label_data();
+  std::vector<int> labels(n);
+  ThreadPool::Global()->ParallelFor(n, 4096, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const bool flip =
+          Rng::Stream(seed, i).NextDouble() < flip_fraction;
+      labels[i] = (truth[i] != 0) != flip ? 1 : 0;
+    }
+  });
+  return labels;
+}
+
+}  // namespace humo::data

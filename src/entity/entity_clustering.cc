@@ -1,0 +1,178 @@
+#include "entity/entity_clustering.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/thread_pool.h"
+#include "core/resolution_service.h"
+
+namespace humo::entity {
+namespace {
+
+/// Path-halving find over a flat parent array.
+uint32_t Find(std::vector<uint32_t>* parent, uint32_t x) {
+  std::vector<uint32_t>& p = *parent;
+  while (p[x] != x) {
+    p[x] = p[p[x]];
+    x = p[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+bool EntityClustering::MemberRange::Contains(RecordRef record) const {
+  const uint64_t key = PackRecord(record);
+  const uint64_t* end = data + count;
+  const uint64_t* it = std::lower_bound(data, end, key);
+  return it != end && *it == key;
+}
+
+EntityClustering EntityClustering::FromLabels(const data::Workload& workload,
+                                              const std::vector<int>& labels,
+                                              const ClusteringOptions& options) {
+  EntityClustering out;
+  out.BuildFrom(workload, labels, options);
+  return out;
+}
+
+EntityClustering EntityClustering::FromSolution(
+    const data::Workload& workload, const core::ResolutionResult& result,
+    const ClusteringOptions& options) {
+  return FromLabels(workload, result.labels, options);
+}
+
+EntityClustering EntityClustering::FromSnapshot(
+    const core::ResolutionSnapshot& snapshot,
+    const ClusteringOptions& options) {
+  return FromLabels(snapshot.workload(), snapshot.labels(), options);
+}
+
+void EntityClustering::BuildFrom(const data::Workload& workload,
+                                 const std::vector<int>& labels,
+                                 const ClusteringOptions& options) {
+  const size_t n = workload.size();
+  assert(labels.size() == n);
+  if (n == 0) {
+    checksum_ = ComputeChecksum();
+    return;
+  }
+
+  // 1. Record universe: both endpoint keys of every pair, sorted + deduped.
+  //    The parallel fill writes disjoint index-addressed slots; the sort is
+  //    the canonicalization that makes everything downstream independent of
+  //    pair order and scheduling.
+  const uint32_t* left = workload.left_id_data();
+  const uint32_t* right = workload.right_id_data();
+  const uint64_t left_src = static_cast<uint64_t>(options.left_source) << 32;
+  const uint64_t right_src = static_cast<uint64_t>(options.right_source) << 32;
+  std::vector<uint64_t> keys(2 * n);
+  ThreadPool::Global()->ParallelFor(n, 8192, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      keys[2 * i] = left_src | left[i];
+      keys[2 * i + 1] = right_src | right[i];
+    }
+  });
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  record_keys_ = std::move(keys);
+  const size_t m = record_keys_.size();
+
+  // 2. Endpoint record indices per pair (binary search over the universe).
+  std::vector<uint32_t> left_idx(n), right_idx(n);
+  ThreadPool::Global()->ParallelFor(n, 4096, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      left_idx[i] = static_cast<uint32_t>(
+          std::lower_bound(record_keys_.begin(), record_keys_.end(),
+                           left_src | left[i]) -
+          record_keys_.begin());
+      right_idx[i] = static_cast<uint32_t>(
+          std::lower_bound(record_keys_.begin(), record_keys_.end(),
+                           right_src | right[i]) -
+          record_keys_.begin());
+    }
+  });
+
+  // 3. Union the match edges. Serial O(n alpha): the canonical renumbering
+  //    below erases any dependence on union order, so this needs no
+  //    parallel union-find to stay bit-identical at any thread count.
+  std::vector<uint32_t> parent(m);
+  for (size_t r = 0; r < m; ++r) parent[r] = static_cast<uint32_t>(r);
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != 1) continue;
+    const uint32_t a = Find(&parent, left_idx[i]);
+    const uint32_t b = Find(&parent, right_idx[i]);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+
+  // 4. Canonical entity ids: first appearance in ascending record order.
+  entity_of_.assign(m, 0);
+  std::vector<uint32_t> entity_of_root(m, UINT32_MAX);
+  uint32_t next = 0;
+  for (size_t r = 0; r < m; ++r) {
+    const uint32_t root = Find(&parent, static_cast<uint32_t>(r));
+    if (entity_of_root[root] == UINT32_MAX) entity_of_root[root] = next++;
+    entity_of_[r] = entity_of_root[root];
+  }
+  num_entities_ = next;
+
+  // 5. CSR member lists: counting pass, prefix offsets, ascending scatter
+  //    (records scanned in ascending key order land sorted within their
+  //    entity automatically).
+  std::vector<uint32_t> counts(num_entities_, 0);
+  for (size_t r = 0; r < m; ++r) ++counts[entity_of_[r]];
+  member_offsets_.assign(num_entities_ + 1, 0);
+  for (size_t e = 0; e < num_entities_; ++e) {
+    member_offsets_[e + 1] = member_offsets_[e] + counts[e];
+    if (counts[e] >= 2) ++multi_record_entities_;
+  }
+  members_.resize(m);
+  std::vector<uint32_t> cursor(member_offsets_.begin(),
+                               member_offsets_.end() - 1);
+  for (size_t r = 0; r < m; ++r) {
+    members_[cursor[entity_of_[r]]++] = record_keys_[r];
+  }
+
+  checksum_ = ComputeChecksum();
+}
+
+std::optional<uint32_t> EntityClustering::EntityOf(RecordRef record) const {
+  const size_t idx = RecordIndexOf(record);
+  if (idx >= record_keys_.size()) return std::nullopt;
+  return entity_of_[idx];
+}
+
+EntityClustering::MemberRange EntityClustering::MembersOf(
+    uint32_t entity) const {
+  if (entity >= num_entities_) return {};
+  const size_t begin = member_offsets_[entity];
+  const size_t end = member_offsets_[entity + 1];
+  return {members_.data() + begin, end - begin};
+}
+
+size_t EntityClustering::RecordIndexOf(RecordRef record) const {
+  const uint64_t key = PackRecord(record);
+  const auto it =
+      std::lower_bound(record_keys_.begin(), record_keys_.end(), key);
+  if (it == record_keys_.end() || *it != key) return record_keys_.size();
+  return static_cast<size_t>(it - record_keys_.begin());
+}
+
+uint64_t EntityClustering::ComputeChecksum() const {
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix64 = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix64(record_keys_.size());
+  mix64(num_entities_);
+  for (size_t r = 0; r < record_keys_.size(); ++r) {
+    mix64(record_keys_[r]);
+    mix64(entity_of_[r]);
+  }
+  return h;
+}
+
+}  // namespace humo::entity

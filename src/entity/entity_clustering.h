@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/solution.h"
+#include "data/workload.h"
+
+namespace humo::core {
+class ResolutionSnapshot;
+}  // namespace humo::core
+
+namespace humo::entity {
+
+/// One record across sources: `source` names the record table (0 = left
+/// table, 1 = right table in a two-table workload; a dedup workload uses
+/// one source for both sides), `id` indexes into that table. The pair
+/// (source, id) is the identity the entity layer clusters — the same id in
+/// two different sources is two different records.
+struct RecordRef {
+  uint32_t source = 0;
+  uint32_t id = 0;
+};
+
+/// Packs a RecordRef into one u64 whose unsigned order equals the
+/// (source, id) lexicographic order — the key every sorted structure of the
+/// entity layer is built on.
+inline uint64_t PackRecord(RecordRef r) {
+  return (static_cast<uint64_t>(r.source) << 32) | r.id;
+}
+inline RecordRef UnpackRecord(uint64_t key) {
+  return {static_cast<uint32_t>(key >> 32), static_cast<uint32_t>(key)};
+}
+inline bool operator==(RecordRef a, RecordRef b) {
+  return a.source == b.source && a.id == b.id;
+}
+inline bool operator<(RecordRef a, RecordRef b) {
+  return PackRecord(a) < PackRecord(b);
+}
+
+/// How a pairwise workload's left/right id columns map onto record sources.
+/// The default treats the workload as two-table ER (DBLP-Scholar, Abt-Buy):
+/// left ids come from source 0, right ids from source 1. A dedup workload
+/// over one table sets both to the same source, which makes self-pairs
+/// (left id == right id) genuinely self-referential.
+struct ClusteringOptions {
+  uint32_t left_source = 0;
+  uint32_t right_source = 1;
+};
+
+/// A transitively-consistent partition of the records of a pairwise
+/// workload into ENTITIES: the connected components of the match-labeled
+/// pair graph. This is the layer that converts certified pair labels into
+/// the record clusters downstream consumers (task packing, multi-source
+/// serving, set-based evaluation) operate on.
+///
+/// The representation is CANONICAL — a pure function of the set
+/// {(record pair, label)}, independent of pair order, construction path,
+/// and thread count:
+///   * records are the sorted distinct packed (source, id) keys;
+///   * entity ids are assigned by first appearance in that sorted record
+///     order, so entity 0 contains the globally smallest record;
+///   * members of an entity are stored in ascending record-key order.
+/// Two clusterings over the same workload are therefore equal (operator==,
+/// equal Checksum()) iff they induce the same partition. Construction is
+/// parallel over the ThreadPool for the column scans; the union-find itself
+/// is a serial O(n alpha(n)) pass whose result the canonical renumbering
+/// makes schedule-independent.
+///
+/// Immutable after construction: every accessor is const and touches only
+/// frozen storage, so a clustering shared through a shared_ptr (see
+/// core::ResolutionSnapshot) is safe to read from any number of threads.
+class EntityClustering {
+ public:
+  /// Contiguous view over one entity's members (packed keys ascending).
+  struct MemberRange {
+    const uint64_t* data = nullptr;
+    size_t count = 0;
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    RecordRef operator[](size_t i) const { return UnpackRecord(data[i]); }
+    /// True when `record` is a member (binary search, O(log size)).
+    bool Contains(RecordRef record) const;
+  };
+
+  EntityClustering() = default;
+
+  /// Clusters the workload's records by the given pair labels (1 = match):
+  /// entities are the connected components of the match edges. `labels`
+  /// must be parallel to the workload's sorted order — a provisional
+  /// labeling, a certified resolution, or the ground truth all fit.
+  static EntityClustering FromLabels(const data::Workload& workload,
+                                     const std::vector<int>& labels,
+                                     const ClusteringOptions& options = {});
+
+  /// Clusters by a certified resolution result (the labels ApplySolution or
+  /// RiskAwareOptimizer::Resolve produced over this workload).
+  static EntityClustering FromSolution(const data::Workload& workload,
+                                       const core::ResolutionResult& result,
+                                       const ClusteringOptions& options = {});
+
+  /// Clusters a published resolution-service snapshot's labels over the
+  /// snapshot's own workload copy. (The service already builds and serves
+  /// this view at publish time — see ResolutionSnapshot::entities(); this
+  /// entry point is for re-deriving it independently.)
+  static EntityClustering FromSnapshot(const core::ResolutionSnapshot& snapshot,
+                                       const ClusteringOptions& options = {});
+
+  /// Distinct records seen by the workload (both sides).
+  size_t num_records() const { return record_keys_.size(); }
+  /// Entities (clusters), singletons included.
+  size_t num_entities() const { return num_entities_; }
+  /// Entities with at least two members.
+  size_t num_multi_record_entities() const { return multi_record_entities_; }
+
+  /// Entity of `record`, or nullopt when the record is not part of the
+  /// workload. O(log n) binary search; wait-free (no locks, frozen data).
+  std::optional<uint32_t> EntityOf(RecordRef record) const;
+
+  /// Members of entity `entity` in ascending record order. The view points
+  /// into this clustering's storage — valid as long as the clustering (or
+  /// the snapshot holding it) is alive.
+  MemberRange MembersOf(uint32_t entity) const;
+
+  size_t EntitySize(uint32_t entity) const {
+    return MembersOf(entity).count;
+  }
+
+  /// Sorted distinct packed record keys (the record universe).
+  const std::vector<uint64_t>& record_keys() const { return record_keys_; }
+  /// Entity id per record, parallel to record_keys().
+  const std::vector<uint32_t>& entity_of_record() const { return entity_of_; }
+
+  /// FNV-1a over the record keys and their entity assignment — equal for
+  /// equal partitions over equal record universes, computed once at build.
+  uint64_t Checksum() const { return checksum_; }
+
+  /// Structural equality: same record universe, same partition.
+  friend bool operator==(const EntityClustering& a, const EntityClustering& b) {
+    return a.record_keys_ == b.record_keys_ && a.entity_of_ == b.entity_of_;
+  }
+  friend bool operator!=(const EntityClustering& a, const EntityClustering& b) {
+    return !(a == b);
+  }
+
+  /// Index of `record` in record_keys(), or num_records() when absent.
+  size_t RecordIndexOf(RecordRef record) const;
+
+ private:
+  void BuildFrom(const data::Workload& workload, const std::vector<int>& labels,
+                 const ClusteringOptions& options);
+  uint64_t ComputeChecksum() const;
+
+  std::vector<uint64_t> record_keys_;   // sorted ascending
+  std::vector<uint32_t> entity_of_;     // parallel to record_keys_
+  std::vector<uint32_t> member_offsets_;  // CSR offsets into members_
+  std::vector<uint64_t> members_;         // packed keys grouped by entity
+  size_t num_entities_ = 0;
+  size_t multi_record_entities_ = 0;
+  uint64_t checksum_ = 0;
+};
+
+}  // namespace humo::entity

@@ -1,0 +1,55 @@
+#include "entity/multi_source.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace humo::entity {
+
+MultiSourceEntities::MultiSourceEntities(EntityClustering clustering,
+                                         std::vector<SourceInfo> sources)
+    : clustering_(std::move(clustering)), sources_(std::move(sources)) {
+  const size_t num_entities = clustering_.num_entities();
+  span_.assign(num_entities, 0);
+  records_per_source_.assign(sources_.size(), 0);
+
+  // One pass per entity over its (ascending, hence source-grouped) members:
+  // consecutive members from the same source count once toward the span.
+  size_t max_span = 0;
+  for (uint32_t e = 0; e < num_entities; ++e) {
+    const EntityClustering::MemberRange members = clustering_.MembersOf(e);
+    uint64_t last_source = UINT64_MAX;
+    for (size_t i = 0; i < members.size(); ++i) {
+      const RecordRef r = members[i];
+      if (r.source < records_per_source_.size()) {
+        ++records_per_source_[r.source];
+      }
+      if (r.source != last_source) {
+        ++span_[e];
+        last_source = r.source;
+      }
+    }
+    if (span_[e] >= 2) ++spanning_entities_;
+    max_span = std::max<size_t>(max_span, span_[e]);
+  }
+
+  histogram_.assign(max_span + 1, 0);
+  for (uint32_t e = 0; e < num_entities; ++e) ++histogram_[span_[e]];
+}
+
+std::vector<RecordRef> MultiSourceEntities::MembersFromSource(
+    uint32_t entity, uint32_t source) const {
+  std::vector<RecordRef> out;
+  const EntityClustering::MemberRange members = clustering_.MembersOf(entity);
+  // Members are sorted by packed (source, id), so the slice is contiguous.
+  const uint64_t lo = static_cast<uint64_t>(source) << 32;
+  const uint64_t hi = lo | 0xFFFFFFFFULL;
+  for (size_t i = 0; i < members.size(); ++i) {
+    const uint64_t key = members.data[i];
+    if (key < lo) continue;
+    if (key > hi) break;
+    out.push_back(UnpackRecord(key));
+  }
+  return out;
+}
+
+}  // namespace humo::entity

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "entity/entity_clustering.h"
+
+namespace humo::entity {
+
+/// One record table the entity layer knows about. `num_records` is
+/// advisory (views are driven by the records the workload actually
+/// mentioned); `name` labels reports.
+struct SourceInfo {
+  std::string name;
+  size_t num_records = 0;
+};
+
+/// EntityFrame-style multi-source view over a clustering: per-source record
+/// tables plus entities keyed ACROSS sources — which sources an entity
+/// spans, its members restricted to one source, and how many entities
+/// bridge tables at all (the cross-source resolution yield). Immutable and
+/// cheap: everything is precomputed once from the clustering's CSR
+/// structure; per-entity queries are O(members) slices.
+class MultiSourceEntities {
+ public:
+  MultiSourceEntities(EntityClustering clustering,
+                      std::vector<SourceInfo> sources);
+
+  const EntityClustering& clustering() const { return clustering_; }
+  size_t num_sources() const { return sources_.size(); }
+  const SourceInfo& source(uint32_t s) const { return sources_[s]; }
+
+  /// Members of `entity` restricted to `source`, ascending id order.
+  std::vector<RecordRef> MembersFromSource(uint32_t entity,
+                                           uint32_t source) const;
+
+  /// Distinct sources contributing at least one record to `entity`.
+  size_t SourceSpan(uint32_t entity) const { return span_[entity]; }
+
+  /// Entities drawing records from two or more sources — the clusters that
+  /// actually resolve identities across tables.
+  size_t entities_spanning_sources() const { return spanning_entities_; }
+
+  /// span_histogram()[k] = entities spanning exactly k sources (k = 0 is
+  /// unused; singletons land at k = 1).
+  const std::vector<size_t>& span_histogram() const { return histogram_; }
+
+  /// Records the workload mentioned from `source`.
+  size_t RecordsFromSource(uint32_t source) const {
+    return records_per_source_[source];
+  }
+
+ private:
+  EntityClustering clustering_;
+  std::vector<SourceInfo> sources_;
+  std::vector<uint32_t> span_;  // per entity
+  std::vector<size_t> histogram_;
+  std::vector<size_t> records_per_source_;
+  size_t spanning_entities_ = 0;
+};
+
+}  // namespace humo::entity

@@ -1,0 +1,143 @@
+#include "eval/entity_metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace humo::eval {
+namespace {
+
+/// Contingency table of two clusterings over their common record universe:
+/// per-cluster common-record counts on each side plus the nonzero joint
+/// cells (a's entity, b's entity, records shared). Both record_keys arrays
+/// are sorted, so the intersection is one linear merge.
+struct Contingency {
+  size_t common_records = 0;
+  std::vector<uint32_t> count_a;  // per a-entity, over common records
+  std::vector<uint32_t> count_b;
+  struct Cell {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint32_t n = 0;
+  };
+  std::vector<Cell> cells;
+  size_t nonempty_a = 0;  // a-entities with at least one common record
+  size_t nonempty_b = 0;
+};
+
+Contingency BuildContingency(const entity::EntityClustering& a,
+                             const entity::EntityClustering& b) {
+  Contingency out;
+  out.count_a.assign(a.num_entities(), 0);
+  out.count_b.assign(b.num_entities(), 0);
+
+  const std::vector<uint64_t>& ka = a.record_keys();
+  const std::vector<uint64_t>& kb = b.record_keys();
+  const std::vector<uint32_t>& ea = a.entity_of_record();
+  const std::vector<uint32_t>& eb = b.entity_of_record();
+
+  std::vector<uint64_t> joint;  // packed (a-entity << 32 | b-entity)
+  size_t i = 0, j = 0;
+  while (i < ka.size() && j < kb.size()) {
+    if (ka[i] < kb[j]) {
+      ++i;
+    } else if (kb[j] < ka[i]) {
+      ++j;
+    } else {
+      ++out.count_a[ea[i]];
+      ++out.count_b[eb[j]];
+      joint.push_back((static_cast<uint64_t>(ea[i]) << 32) | eb[j]);
+      ++i;
+      ++j;
+    }
+  }
+  out.common_records = joint.size();
+
+  std::sort(joint.begin(), joint.end());
+  for (size_t k = 0; k < joint.size();) {
+    size_t end = k;
+    while (end < joint.size() && joint[end] == joint[k]) ++end;
+    out.cells.push_back({static_cast<uint32_t>(joint[k] >> 32),
+                         static_cast<uint32_t>(joint[k]),
+                         static_cast<uint32_t>(end - k)});
+    k = end;
+  }
+  for (const uint32_t c : out.count_a) {
+    if (c > 0) ++out.nonempty_a;
+  }
+  for (const uint32_t c : out.count_b) {
+    if (c > 0) ++out.nonempty_b;
+  }
+  return out;
+}
+
+double PairsOf(uint64_t n) {
+  if (n < 2) return 0.0;
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+double Ratio(double num, double den) { return den > 0.0 ? num / den : 1.0; }
+
+double Harmonic(double p, double r) {
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+}  // namespace
+
+EntityQuality EntityQualityOf(const entity::EntityClustering& truth,
+                              const entity::EntityClustering& predicted) {
+  const Contingency table = BuildContingency(truth, predicted);
+  EntityQuality q;
+  q.truth_entities = truth.num_entities();
+  q.predicted_entities = predicted.num_entities();
+  q.common_records = table.common_records;
+
+  double tp = 0.0, exact = 0.0;
+  for (const Contingency::Cell& cell : table.cells) {
+    tp += PairsOf(cell.n);
+    if (cell.n == table.count_a[cell.a] && cell.n == table.count_b[cell.b]) {
+      exact += 1.0;
+    }
+  }
+  double truth_pairs = 0.0, predicted_pairs = 0.0;
+  for (const uint32_t c : table.count_a) truth_pairs += PairsOf(c);
+  for (const uint32_t c : table.count_b) predicted_pairs += PairsOf(c);
+
+  q.precision = Ratio(tp, predicted_pairs);
+  q.recall = Ratio(tp, truth_pairs);
+  q.f1 = Harmonic(q.precision, q.recall);
+  q.cluster_precision = Ratio(exact, static_cast<double>(table.nonempty_b));
+  q.cluster_recall = Ratio(exact, static_cast<double>(table.nonempty_a));
+  q.cluster_f1 = Harmonic(q.cluster_precision, q.cluster_recall);
+  return q;
+}
+
+double MeanBestJaccard(const entity::EntityClustering& from,
+                       const entity::EntityClustering& to) {
+  const Contingency table = BuildContingency(from, to);
+  if (table.common_records == 0) return 1.0;
+  std::vector<double> best(from.num_entities(), 0.0);
+  for (const Contingency::Cell& cell : table.cells) {
+    const double overlap = static_cast<double>(cell.n);
+    const double uni = static_cast<double>(table.count_a[cell.a]) +
+                       static_cast<double>(table.count_b[cell.b]) - overlap;
+    best[cell.a] = std::max(best[cell.a], overlap / uni);
+  }
+  double weighted = 0.0;
+  for (uint32_t e = 0; e < from.num_entities(); ++e) {
+    weighted += best[e] * static_cast<double>(table.count_a[e]);
+  }
+  return weighted / static_cast<double>(table.common_records);
+}
+
+double JaccardAgreement(const entity::EntityClustering& a,
+                        const entity::EntityClustering& b) {
+  return 0.5 * (MeanBestJaccard(a, b) + MeanBestJaccard(b, a));
+}
+
+entity::EntityClustering TruthClustering(
+    const data::Workload& workload, const entity::ClusteringOptions& options) {
+  return entity::EntityClustering::FromLabels(
+      workload, workload.GroundTruthLabels(), options);
+}
+
+}  // namespace humo::eval

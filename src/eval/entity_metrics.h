@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/workload.h"
+#include "entity/entity_clustering.h"
+
+namespace humo::eval {
+
+/// ENTITY-level quality of a predicted clustering against a truth
+/// clustering — the set-based counterpart of the pairwise QualityOf. Both
+/// metric families are computed over the COMMON record universe (records
+/// present in both clusterings; identical universes in the usual case of
+/// two clusterings over the same workload):
+///
+///  * precision / recall / f1: pairwise-over-clusters. Of all record pairs
+///    the prediction co-clusters, the fraction truth co-clusters
+///    (precision), and vice versa (recall), via the standard contingency
+///    sum of C(n_ij, 2). Vacuous denominators score 1.
+///  * cluster_precision / cluster_recall / cluster_f1: exact-set match.
+///    The fraction of predicted clusters whose member set equals some
+///    truth cluster exactly, and vice versa — the strictest entity metric.
+struct EntityQuality {
+  size_t truth_entities = 0;
+  size_t predicted_entities = 0;
+  size_t common_records = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double cluster_precision = 0.0;
+  double cluster_recall = 0.0;
+  double cluster_f1 = 0.0;
+};
+
+EntityQuality EntityQualityOf(const entity::EntityClustering& truth,
+                              const entity::EntityClustering& predicted);
+
+/// Record-weighted mean over `from`'s clusters of the best Jaccard overlap
+/// with any `to` cluster (computed over the common record universe).
+/// Directional: 1.0 iff every `from` cluster is exactly some `to` cluster.
+double MeanBestJaccard(const entity::EntityClustering& from,
+                       const entity::EntityClustering& to);
+
+/// Symmetric set-based agreement: the mean of the two directional
+/// MeanBestJaccard scores. 1.0 iff the partitions are identical over the
+/// common records.
+double JaccardAgreement(const entity::EntityClustering& a,
+                        const entity::EntityClustering& b);
+
+/// The ground-truth entity clustering of a workload: connected components
+/// of its hidden truth labels (evaluation-side only, same contract as
+/// GroundTruthLabels).
+entity::EntityClustering TruthClustering(
+    const data::Workload& workload,
+    const entity::ClusteringOptions& options = {});
+
+}  // namespace humo::eval

@@ -68,6 +68,19 @@
 ///   auto label = service.LabelOfPair(p);   // wait-free, any thread
 ///   auto cert = service.DrainToQuiescence();  // == streaming.Certify()
 ///
+/// Pair labels are only half the story: downstream consumers want ENTITIES.
+/// The entity layer (entity/) folds any pair labeling into a deterministic
+/// clustering over the underlying records, repairs transitivity conflicts
+/// with a minimum-disagreement local search, and scores cluster quality
+/// (eval/entity_metrics.h). Snapshots published by the resolution service
+/// carry the same view wait-free:
+///
+///   auto clusters = entity::EntityClustering::FromLabels(w, labels);
+///   auto repaired = entity::RepairTransitivity(w, labels);
+///   auto quality = eval::EntityQualityOf(eval::TruthClustering(w),
+///                                        repaired.clustering);
+///   auto who = service.snapshot()->EntityOf({/*source=*/0, /*id=*/42});
+///
 /// Machine-side heavy paths (GP kernel matrices, Cholesky factorization,
 /// workload simulation) run on a thread pool sized by the HUMO_NUM_THREADS
 /// environment variable (default: hardware concurrency); results are
@@ -100,6 +113,7 @@
 #include "core/solution.h"
 #include "core/streaming_resolver.h"
 #include "data/blocking.h"
+#include "data/entity_graph_generator.h"
 #include "data/logistic_generator.h"
 #include "data/mmap_columns.h"
 #include "data/pair_simulator.h"
@@ -112,6 +126,10 @@
 #include "data/scale_generator.h"
 #include "data/workload.h"
 #include "data/workload_stream.h"
+#include "entity/entity_clustering.h"
+#include "entity/multi_source.h"
+#include "entity/transitivity_repair.h"
+#include "eval/entity_metrics.h"
 #include "eval/evaluation.h"
 #include "eval/experiment.h"
 #include "eval/golden_reference.h"

@@ -1,0 +1,109 @@
+#include "data/entity_graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "entity/entity_clustering.h"
+#include "eval/entity_metrics.h"
+
+namespace humo {
+namespace {
+
+using data::EntityGraph;
+using data::EntityGraphConfig;
+using data::EntityGraphConfigForPairs;
+using data::EntityGraphPairCount;
+using data::GenerateEntityGraph;
+using data::NoisyLabels;
+using entity::ClusteringOptions;
+using entity::EntityClustering;
+
+constexpr ClusteringOptions kDedup{0, 0};
+
+EntityGraphConfig SmallConfig(uint64_t seed) {
+  EntityGraphConfig config;
+  config.num_entities = 400;
+  config.seed = seed;
+  return config;
+}
+
+TEST(EntityGraphGeneratorTest, PairCountMatchesRealization) {
+  const EntityGraphConfig config = SmallConfig(7);
+  const EntityGraph g = GenerateEntityGraph(config);
+  EXPECT_EQ(g.workload.size(), EntityGraphPairCount(config));
+  EXPECT_EQ(g.entity_of_record.size(), g.num_records);
+  EXPECT_EQ(g.num_entities, config.num_entities);
+  EXPECT_GE(g.num_records, config.num_entities * config.min_entity_size);
+  EXPECT_LE(g.num_records, config.num_entities * config.max_entity_size);
+}
+
+TEST(EntityGraphGeneratorTest, DeterministicRealization) {
+  const EntityGraph a = GenerateEntityGraph(SmallConfig(11));
+  const EntityGraph b = GenerateEntityGraph(SmallConfig(11));
+  ASSERT_EQ(a.workload.size(), b.workload.size());
+  EXPECT_EQ(a.entity_of_record, b.entity_of_record);
+  for (size_t i = 0; i < a.workload.size(); ++i) {
+    ASSERT_EQ(a.workload.Similarity(i), b.workload.Similarity(i));
+    ASSERT_EQ(a.workload.left_id_data()[i], b.workload.left_id_data()[i]);
+    ASSERT_EQ(a.workload.right_id_data()[i], b.workload.right_id_data()[i]);
+    ASSERT_EQ(a.workload.label_data()[i], b.workload.label_data()[i]);
+  }
+  // A different seed realizes a different workload.
+  const EntityGraph c = GenerateEntityGraph(SmallConfig(12));
+  EXPECT_NE(eval::TruthClustering(a.workload, kDedup).Checksum(),
+            eval::TruthClustering(c.workload, kDedup).Checksum());
+}
+
+TEST(EntityGraphGeneratorTest, TruthClusteringRecoversLatentPartition) {
+  const EntityGraph g = GenerateEntityGraph(SmallConfig(21));
+  const EntityClustering c = eval::TruthClustering(g.workload, kDedup);
+
+  // Every record is mentioned (each one owns at least one cross pair), the
+  // spanning path keeps each latent entity connected, and truth labels are
+  // transitively consistent — so the recovered partition must equal the
+  // latent one up to entity renumbering.
+  ASSERT_EQ(c.num_records(), g.num_records);
+  ASSERT_EQ(c.num_entities(), g.num_entities);
+  std::vector<uint32_t> latent_to_predicted(g.num_entities, UINT32_MAX);
+  for (uint32_t r = 0; r < g.num_records; ++r) {
+    const auto predicted = c.EntityOf({0, r});
+    ASSERT_TRUE(predicted.has_value());
+    uint32_t& mapped = latent_to_predicted[g.entity_of_record[r]];
+    if (mapped == UINT32_MAX) {
+      mapped = *predicted;
+    } else {
+      ASSERT_EQ(mapped, *predicted) << "record " << r;
+    }
+  }
+}
+
+TEST(EntityGraphGeneratorTest, ConfigForPairsReachesTarget) {
+  const size_t target = 50'000;
+  const EntityGraphConfig config = EntityGraphConfigForPairs(target, 5);
+  const size_t count = EntityGraphPairCount(config);
+  EXPECT_GE(count, target);
+  EXPECT_LT(count, target + target / 4);  // no gross overshoot
+}
+
+TEST(EntityGraphGeneratorTest, NoisyLabelsFlipTheRequestedFraction) {
+  const EntityGraph g = GenerateEntityGraph(SmallConfig(31));
+  const std::vector<int> truth = g.workload.GroundTruthLabels();
+
+  EXPECT_EQ(NoisyLabels(g.workload, 0.0, 9), truth);
+
+  const std::vector<int> noisy = NoisyLabels(g.workload, 0.1, 9);
+  EXPECT_EQ(noisy, NoisyLabels(g.workload, 0.1, 9));  // deterministic
+  size_t flipped = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (noisy[i] != truth[i]) ++flipped;
+  }
+  const double fraction =
+      static_cast<double>(flipped) / static_cast<double>(truth.size());
+  EXPECT_GT(fraction, 0.06);
+  EXPECT_LT(fraction, 0.14);
+}
+
+}  // namespace
+}  // namespace humo

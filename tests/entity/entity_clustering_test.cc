@@ -1,0 +1,120 @@
+#include "entity/entity_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/solution.h"
+#include "data/workload.h"
+
+namespace humo {
+namespace {
+
+using entity::ClusteringOptions;
+using entity::EntityClustering;
+using entity::PackRecord;
+using entity::RecordRef;
+using entity::UnpackRecord;
+
+/// Two-table workload: L0-R0 match, L1-R0 match, L2-R1 non, L3-R2 match.
+/// Entities: {L0, L1, R0}, {L2}, {L3, R2}, {R1}.
+data::Workload TwoTableWorkload() {
+  return data::Workload({{0, 0, 0.90, true},
+                         {1, 0, 0.80, true},
+                         {2, 1, 0.30, false},
+                         {3, 2, 0.85, true}});
+}
+
+std::vector<int> TruthLabels(const data::Workload& w) {
+  return w.GroundTruthLabels();
+}
+
+TEST(RecordRefTest, PackingPreservesLexicographicOrder) {
+  const RecordRef a{0, 5}, b{1, 0}, c{1, 5};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(PackRecord(a), PackRecord(b));
+  EXPECT_EQ(UnpackRecord(PackRecord(c)), c);
+  EXPECT_TRUE((RecordRef{2, 3}) == (RecordRef{2, 3}));
+  EXPECT_FALSE((RecordRef{2, 3}) == (RecordRef{3, 2}));
+}
+
+TEST(EntityClusteringTest, TwoTableConnectedComponents) {
+  const data::Workload w = TwoTableWorkload();
+  const EntityClustering c = EntityClustering::FromLabels(w, TruthLabels(w));
+
+  EXPECT_EQ(c.num_records(), 7u);  // L0..L3 + R0..R2
+  EXPECT_EQ(c.num_entities(), 4u);
+  EXPECT_EQ(c.num_multi_record_entities(), 2u);
+
+  // Canonical numbering: first appearance in ascending (source, id) order.
+  EXPECT_EQ(c.EntityOf({0, 0}), std::optional<uint32_t>(0));
+  EXPECT_EQ(c.EntityOf({0, 1}), std::optional<uint32_t>(0));
+  EXPECT_EQ(c.EntityOf({1, 0}), std::optional<uint32_t>(0));
+  EXPECT_EQ(c.EntityOf({0, 2}), std::optional<uint32_t>(1));
+  EXPECT_EQ(c.EntityOf({0, 3}), std::optional<uint32_t>(2));
+  EXPECT_EQ(c.EntityOf({1, 2}), std::optional<uint32_t>(2));
+  EXPECT_EQ(c.EntityOf({1, 1}), std::optional<uint32_t>(3));
+  EXPECT_EQ(c.EntityOf({5, 5}), std::nullopt);
+
+  const EntityClustering::MemberRange big = c.MembersOf(0);
+  ASSERT_EQ(big.size(), 3u);
+  EXPECT_EQ(big[0], (RecordRef{0, 0}));
+  EXPECT_EQ(big[1], (RecordRef{0, 1}));
+  EXPECT_EQ(big[2], (RecordRef{1, 0}));
+  EXPECT_TRUE(big.Contains({1, 0}));
+  EXPECT_FALSE(big.Contains({1, 1}));
+  EXPECT_EQ(c.EntitySize(0), 3u);
+  EXPECT_EQ(c.EntitySize(1), 1u);
+  EXPECT_TRUE(c.MembersOf(99).empty());
+}
+
+TEST(EntityClusteringTest, SingleSourceDedup) {
+  // Dedup workload: both columns draw from one table.
+  const data::Workload w({{0, 1, 0.9, true}, {1, 2, 0.8, true},
+                          {3, 4, 0.2, false}});
+  const ClusteringOptions dedup{0, 0};
+  const EntityClustering c =
+      EntityClustering::FromLabels(w, TruthLabels(w), dedup);
+  EXPECT_EQ(c.num_records(), 5u);
+  EXPECT_EQ(c.num_entities(), 3u);
+  // Transitive closure through the chain 0-1-2.
+  EXPECT_EQ(c.EntityOf({0, 0}), c.EntityOf({0, 2}));
+  EXPECT_NE(c.EntityOf({0, 3}), c.EntityOf({0, 4}));
+}
+
+TEST(EntityClusteringTest, FromSolutionMatchesFromLabels) {
+  const data::Workload w = TwoTableWorkload();
+  core::ResolutionResult result;
+  result.labels = TruthLabels(w);
+  const EntityClustering a = EntityClustering::FromLabels(w, result.labels);
+  const EntityClustering b = EntityClustering::FromSolution(w, result);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Checksum(), b.Checksum());
+}
+
+TEST(EntityClusteringTest, ChecksumSeparatesPartitions) {
+  const data::Workload w = TwoTableWorkload();
+  const EntityClustering truth = EntityClustering::FromLabels(w, TruthLabels(w));
+  const EntityClustering none =
+      EntityClustering::FromLabels(w, std::vector<int>(w.size(), 0));
+  EXPECT_NE(truth, none);
+  EXPECT_NE(truth.Checksum(), none.Checksum());
+  EXPECT_EQ(none.num_entities(), none.num_records());
+  EXPECT_EQ(none.num_multi_record_entities(), 0u);
+}
+
+TEST(EntityClusteringTest, RecordIndexRoundTrip) {
+  const data::Workload w = TwoTableWorkload();
+  const EntityClustering c = EntityClustering::FromLabels(w, TruthLabels(w));
+  for (size_t r = 0; r < c.num_records(); ++r) {
+    const RecordRef ref = UnpackRecord(c.record_keys()[r]);
+    EXPECT_EQ(c.RecordIndexOf(ref), r);
+    EXPECT_EQ(c.EntityOf(ref), std::optional<uint32_t>(c.entity_of_record()[r]));
+    EXPECT_TRUE(c.MembersOf(c.entity_of_record()[r]).Contains(ref));
+  }
+  EXPECT_EQ(c.RecordIndexOf({9, 9}), c.num_records());
+}
+
+}  // namespace
+}  // namespace humo

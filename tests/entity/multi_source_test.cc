@@ -1,0 +1,79 @@
+#include "entity/multi_source.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/workload.h"
+#include "entity/entity_clustering.h"
+
+namespace humo {
+namespace {
+
+using entity::EntityClustering;
+using entity::MultiSourceEntities;
+using entity::RecordRef;
+using entity::SourceInfo;
+
+TEST(MultiSourceEntitiesTest, SpansAndPerSourceViews) {
+  // L0-R0 and L1-R0 match (one entity across both tables), L3-R2 match,
+  // L2 and R1 stay singletons in their own tables.
+  const data::Workload w({{0, 0, 0.90, true},
+                          {1, 0, 0.80, true},
+                          {2, 1, 0.30, false},
+                          {3, 2, 0.85, true}});
+  EntityClustering c = EntityClustering::FromLabels(w, w.GroundTruthLabels());
+  const MultiSourceEntities multi(std::move(c),
+                                  {{"left", 4}, {"right", 3}});
+
+  EXPECT_EQ(multi.num_sources(), 2u);
+  EXPECT_EQ(multi.source(0).name, "left");
+  EXPECT_EQ(multi.RecordsFromSource(0), 4u);
+  EXPECT_EQ(multi.RecordsFromSource(1), 3u);
+
+  // Entity 0 = {L0, L1, R0} spans both sources; singletons span one.
+  EXPECT_EQ(multi.SourceSpan(0), 2u);
+  EXPECT_EQ(multi.SourceSpan(1), 1u);  // {L2}
+  EXPECT_EQ(multi.SourceSpan(2), 2u);  // {L3, R2}
+  EXPECT_EQ(multi.SourceSpan(3), 1u);  // {R1}
+  EXPECT_EQ(multi.entities_spanning_sources(), 2u);
+
+  const std::vector<size_t>& hist = multi.span_histogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 2u);
+
+  const std::vector<RecordRef> lefts = multi.MembersFromSource(0, 0);
+  ASSERT_EQ(lefts.size(), 2u);
+  EXPECT_EQ(lefts[0], (RecordRef{0, 0}));
+  EXPECT_EQ(lefts[1], (RecordRef{0, 1}));
+  const std::vector<RecordRef> rights = multi.MembersFromSource(0, 1);
+  ASSERT_EQ(rights.size(), 1u);
+  EXPECT_EQ(rights[0], (RecordRef{1, 0}));
+  EXPECT_TRUE(multi.MembersFromSource(1, 1).empty());  // {L2} has no rights
+}
+
+TEST(MultiSourceEntitiesTest, SingleSourceDegeneratesToClusterSizes) {
+  const data::Workload w({{0, 1, 0.9, true}, {2, 3, 0.2, false}});
+  EntityClustering c =
+      EntityClustering::FromLabels(w, w.GroundTruthLabels(), {0, 0});
+  const MultiSourceEntities multi(std::move(c), {{"records", 4}});
+  EXPECT_EQ(multi.entities_spanning_sources(), 0u);
+  for (uint32_t e = 0; e < multi.clustering().num_entities(); ++e) {
+    EXPECT_EQ(multi.SourceSpan(e), 1u);
+    EXPECT_EQ(multi.MembersFromSource(e, 0).size(),
+              multi.clustering().EntitySize(e));
+  }
+  EXPECT_EQ(multi.RecordsFromSource(0), 4u);
+}
+
+TEST(MultiSourceEntitiesTest, EmptyClustering) {
+  const MultiSourceEntities multi(EntityClustering(), {{"left", 0}});
+  EXPECT_EQ(multi.entities_spanning_sources(), 0u);
+  EXPECT_EQ(multi.span_histogram().size(), 1u);  // just the unused k = 0 bin
+  EXPECT_EQ(multi.RecordsFromSource(0), 0u);
+}
+
+}  // namespace
+}  // namespace humo

@@ -1,0 +1,128 @@
+#include "entity/transitivity_repair.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/workload.h"
+#include "entity/entity_clustering.h"
+
+namespace humo {
+namespace {
+
+using entity::ClusteringOptions;
+using entity::CountDisagreements;
+using entity::EntityClustering;
+using entity::RepairResult;
+using entity::RepairTransitivity;
+
+constexpr ClusteringOptions kDedup{0, 0};
+
+TEST(TransitivityRepairTest, ConsistentLabelsAreAFixedPoint) {
+  const data::Workload w({{0, 1, 0.9, true}, {1, 2, 0.8, true},
+                          {3, 4, 0.2, false}});
+  const std::vector<int> labels = w.GroundTruthLabels();
+  const RepairResult r = RepairTransitivity(w, labels, kDedup);
+  EXPECT_EQ(r.stats.disagreements_before, 0u);
+  EXPECT_EQ(r.stats.disagreements_after, 0u);
+  EXPECT_EQ(r.stats.conflict_components, 0u);
+  EXPECT_EQ(r.stats.moves_applied, 0u);
+  EXPECT_EQ(r.labels, labels);
+  EXPECT_EQ(r.clustering, EntityClustering::FromLabels(w, labels, kDedup));
+}
+
+TEST(TransitivityRepairTest, TriangleConflictResolvesToConsistency) {
+  // a=b, b=c, a!=c: one disagreement whatever the partition; repair must
+  // return consistent labels without making anything worse.
+  const data::Workload w({{0, 2, 0.3, false}, {0, 1, 0.8, true},
+                          {1, 2, 0.9, true}});
+  std::vector<int> labels = {0, 1, 1};  // sorted order: (0,2), (0,1), (1,2)
+  const RepairResult r = RepairTransitivity(w, labels, kDedup);
+  EXPECT_EQ(r.stats.disagreements_before, 1u);
+  EXPECT_EQ(r.stats.disagreements_after, 1u);
+  EXPECT_EQ(r.stats.conflict_components, 1u);
+  // The repaired labels are transitively consistent by construction.
+  EXPECT_EQ(CountDisagreements(w, r.labels, r.clustering, kDedup), 0u);
+}
+
+TEST(TransitivityRepairTest, SpuriousBridgeBetweenCliquesIsCut) {
+  // Two 3-cliques of match evidence joined by one spurious match (2-3) and
+  // contradicted by 7 cross non-matches. Minimum-disagreement repair splits
+  // the cliques apart, paying only the bridge.
+  std::vector<data::InstancePair> pairs = {
+      {0, 1, 0.90, true},  {1, 2, 0.91, true},  {0, 2, 0.92, true},
+      {3, 4, 0.93, true},  {4, 5, 0.94, true},  {3, 5, 0.95, true},
+      {2, 3, 0.60, true},  // spurious bridge
+      {0, 3, 0.10, false}, {0, 4, 0.11, false}, {1, 3, 0.12, false},
+      {1, 4, 0.13, false}, {1, 5, 0.14, false}, {2, 4, 0.15, false},
+      {2, 5, 0.16, false}};
+  const data::Workload w(std::move(pairs));
+  const std::vector<int> labels = w.GroundTruthLabels();
+
+  const RepairResult r = RepairTransitivity(w, labels, kDedup);
+  EXPECT_EQ(r.stats.disagreements_before, 7u);
+  EXPECT_EQ(r.stats.disagreements_after, 1u);  // only the cut bridge
+  EXPECT_GT(r.stats.moves_applied, 0u);
+  EXPECT_EQ(r.clustering.num_entities(), 2u);
+  EXPECT_EQ(r.clustering.EntityOf({0, 0}), r.clustering.EntityOf({0, 2}));
+  EXPECT_EQ(r.clustering.EntityOf({0, 3}), r.clustering.EntityOf({0, 5}));
+  EXPECT_NE(r.clustering.EntityOf({0, 2}), r.clustering.EntityOf({0, 3}));
+  EXPECT_EQ(CountDisagreements(w, r.labels, r.clustering, kDedup), 0u);
+}
+
+TEST(TransitivityRepairTest, RepairIsIdempotent) {
+  std::vector<data::InstancePair> pairs = {
+      {0, 1, 0.90, true},  {1, 2, 0.91, true},  {0, 2, 0.30, false},
+      {3, 4, 0.93, true},  {4, 5, 0.94, true},  {3, 5, 0.20, false},
+      {2, 3, 0.60, true},  {0, 4, 0.10, false}};
+  const data::Workload w(std::move(pairs));
+  const RepairResult first =
+      RepairTransitivity(w, w.GroundTruthLabels(), kDedup);
+  const RepairResult second = RepairTransitivity(w, first.labels, kDedup);
+  EXPECT_EQ(second.stats.disagreements_before, 0u);
+  EXPECT_EQ(second.stats.moves_applied, 0u);
+  EXPECT_EQ(second.labels, first.labels);
+  EXPECT_EQ(second.clustering, first.clustering);
+}
+
+TEST(TransitivityRepairTest, SelfConflictsAreCountedAndNormalized) {
+  // Dedup view: (5,5) is record 5 against itself. A negative self-pair can
+  // never be satisfied; repair normalizes the label and keeps the count.
+  const data::Workload w({{5, 5, 0.4, false}, {6, 7, 0.9, true}});
+  const std::vector<int> labels = {0, 1};
+  const RepairResult r = RepairTransitivity(w, labels, kDedup);
+  EXPECT_EQ(r.stats.self_conflicts, 1u);
+  EXPECT_EQ(r.stats.disagreements_before, 1u);
+  EXPECT_EQ(r.stats.disagreements_after, 1u);
+  EXPECT_EQ(r.labels, (std::vector<int>{1, 1}));
+  // Under the two-table view the same pair is two records; no conflict.
+  const RepairResult two_table = RepairTransitivity(w, labels, {0, 1});
+  EXPECT_EQ(two_table.stats.self_conflicts, 0u);
+  EXPECT_EQ(two_table.stats.disagreements_before, 0u);
+}
+
+TEST(TransitivityRepairTest, NeverIncreasesDisagreements) {
+  // A denser tangle: ring of matches with chords of non-matches.
+  std::vector<data::InstancePair> pairs;
+  const size_t n = 12;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.push_back({static_cast<uint32_t>(i),
+                     static_cast<uint32_t>((i + 1) % n),
+                     0.5 + 0.01 * static_cast<double>(i), true});
+    pairs.push_back({static_cast<uint32_t>(i),
+                     static_cast<uint32_t>((i + 5) % n),
+                     0.1 + 0.01 * static_cast<double>(i), false});
+  }
+  const data::Workload w(std::move(pairs));
+  const std::vector<int> labels = w.GroundTruthLabels();
+  const EntityClustering before =
+      EntityClustering::FromLabels(w, labels, kDedup);
+  const size_t initial = CountDisagreements(w, labels, before, kDedup);
+  const RepairResult r = RepairTransitivity(w, labels, kDedup);
+  EXPECT_EQ(r.stats.disagreements_before, initial);
+  EXPECT_LE(r.stats.disagreements_after, r.stats.disagreements_before);
+  EXPECT_EQ(CountDisagreements(w, r.labels, r.clustering, kDedup), 0u);
+}
+
+}  // namespace
+}  // namespace humo

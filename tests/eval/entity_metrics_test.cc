@@ -1,0 +1,112 @@
+#include "eval/entity_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/workload.h"
+#include "entity/entity_clustering.h"
+
+namespace humo {
+namespace {
+
+using entity::ClusteringOptions;
+using entity::EntityClustering;
+using eval::EntityQuality;
+using eval::EntityQualityOf;
+using eval::JaccardAgreement;
+using eval::MeanBestJaccard;
+using eval::TruthClustering;
+
+constexpr ClusteringOptions kDedup{0, 0};
+
+TEST(EntityMetricsTest, IdenticalClusteringsScorePerfect) {
+  const data::Workload w({{0, 1, 0.9, true}, {1, 2, 0.8, true},
+                          {3, 4, 0.2, false}});
+  const EntityClustering truth = TruthClustering(w, kDedup);
+  const EntityQuality q = EntityQualityOf(truth, truth);
+  EXPECT_EQ(q.truth_entities, 3u);
+  EXPECT_EQ(q.predicted_entities, 3u);
+  EXPECT_EQ(q.common_records, 5u);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+  EXPECT_DOUBLE_EQ(q.cluster_precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.cluster_recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.cluster_f1, 1.0);
+  EXPECT_DOUBLE_EQ(JaccardAgreement(truth, truth), 1.0);
+}
+
+TEST(EntityMetricsTest, AllSingletonPredictionHandComputed) {
+  // Truth {0,1},{2}; prediction all singletons.
+  const data::Workload w({{0, 1, 0.9, true}, {0, 2, 0.2, false}});
+  const EntityClustering truth = TruthClustering(w, kDedup);
+  const EntityClustering singles =
+      EntityClustering::FromLabels(w, std::vector<int>(w.size(), 0), kDedup);
+
+  const EntityQuality q = EntityQualityOf(truth, singles);
+  // No predicted co-clustered pair exists: precision is vacuously 1.
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  // The one truth pair (0,1) is missed entirely.
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+  // Exactly one of the three predicted singletons ({2}) equals a truth
+  // cluster; one of the two truth clusters is recovered.
+  EXPECT_DOUBLE_EQ(q.cluster_precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.cluster_recall, 1.0 / 2.0);
+
+  // Directional Jaccard, record-weighted: singles -> truth gives records 0
+  // and 1 a best overlap of 1/2 each and record 2 a 1; truth -> singles is
+  // 1/2 for the pair-cluster (2 records) and 1 for {2}.
+  EXPECT_DOUBLE_EQ(MeanBestJaccard(singles, truth), (0.5 + 0.5 + 1.0) / 3.0);
+  EXPECT_DOUBLE_EQ(MeanBestJaccard(truth, singles), (0.5 * 2 + 1.0) / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardAgreement(truth, singles), 2.0 / 3.0);
+}
+
+TEST(EntityMetricsTest, PairwiseContingencyHandComputed) {
+  // Truth {0,1,2},{3,4}; prediction {0,1},{2,3},{4}.
+  const data::Workload w({{0, 1, 0.5, true},
+                          {1, 2, 0.6, true},
+                          {3, 4, 0.7, true},
+                          {2, 3, 0.8, false}});
+  const EntityClustering truth = TruthClustering(w, kDedup);
+  ASSERT_EQ(truth.num_entities(), 2u);
+  // Sorted order is by similarity: (0,1), (1,2), (3,4), (2,3).
+  const EntityClustering predicted =
+      EntityClustering::FromLabels(w, {1, 0, 0, 1}, kDedup);
+  ASSERT_EQ(predicted.num_entities(), 3u);
+
+  const EntityQuality q = EntityQualityOf(truth, predicted);
+  // Predicted co-pairs: (0,1) and (2,3) -> 2; truth co-pairs: 3 + 1 = 4;
+  // agreeing co-pairs: only (0,1).
+  EXPECT_DOUBLE_EQ(q.precision, 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(q.f1, 2.0 * 0.5 * 0.25 / (0.5 + 0.25));
+  // No predicted cluster equals a truth cluster exactly.
+  EXPECT_DOUBLE_EQ(q.cluster_precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.cluster_recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.cluster_f1, 0.0);
+}
+
+TEST(EntityMetricsTest, DisjointRecordUniversesAreVacuous) {
+  const data::Workload a({{0, 1, 0.5, true}});
+  const data::Workload b({{7, 8, 0.5, true}});
+  const EntityClustering ca = TruthClustering(a, kDedup);
+  const EntityClustering cb = TruthClustering(b, kDedup);
+  const EntityQuality q = EntityQualityOf(ca, cb);
+  EXPECT_EQ(q.common_records, 0u);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(MeanBestJaccard(ca, cb), 1.0);
+}
+
+TEST(EntityMetricsTest, TruthClusteringUsesGroundTruth) {
+  const data::Workload w({{0, 1, 0.9, true}, {1, 2, 0.8, false}});
+  const EntityClustering truth = TruthClustering(w, kDedup);
+  EXPECT_EQ(truth.num_entities(), 2u);
+  EXPECT_EQ(truth.EntityOf({0, 0}), truth.EntityOf({0, 1}));
+  EXPECT_NE(truth.EntityOf({0, 1}), truth.EntityOf({0, 2}));
+}
+
+}  // namespace
+}  // namespace humo

@@ -11,6 +11,8 @@
 #include "core/risk_aware_optimizer.h"
 #include "core/solution.h"
 #include "data/pair_simulator.h"
+#include "entity/entity_clustering.h"
+#include "eval/entity_metrics.h"
 #include "eval/evaluation.h"
 #include "eval/golden_reference.h"
 
@@ -38,27 +40,41 @@ struct GoldenRow {
   size_t human_cost;
   size_t total_requests;
   size_t duplicate_requests;
+  /// Entity-level view of the same resolution: cluster count of the final
+  /// labels and pairwise entity precision/recall against the ground-truth
+  /// clustering. (The simulated workloads give every pair its own records,
+  /// so the entity P/R numerically coincides with the pairwise P/R — the
+  /// row still pins that the clustering path itself is deterministic.)
+  size_t num_entities;
+  double entity_precision, entity_recall;
 };
 
 constexpr uint64_t kSeed = 1000;
 
 const GoldenRow kGolden[] = {
     {"DS", "BASE", false, 82, 98, 0.9980732177263969, 0.98479087452471481,
-     3400, 3400, 0},
-    {"DS", "SAMP", false, 1, 98, 0.99810246679316883, 1, 20000, 20000, 0},
-    {"DS", "HYBR", false, 49, 97, 0.98872180451127822, 1, 10200, 10200, 0},
+     3400, 3400, 0, 38962, 0.9980732177263969, 0.98479087452471481},
+    {"DS", "SAMP", false, 1, 98, 0.99810246679316883, 1, 20000, 20000, 0,
+     38946, 0.99810246679316883, 1},
+    {"DS", "HYBR", false, 49, 97, 0.98872180451127822, 1, 10200, 10200, 0,
+     38936, 0.98872180451127822, 1},
     {"DS", "RISK", false, 1, 98, 0.98858230256898194, 0.98764258555133078,
-     12896, 12896, 0},
-    {"AB", "BASE", false, 267, 299, 1, 0.94202898550724634, 6600, 6600, 0},
-    {"AB", "SAMP", false, 10, 299, 1, 1, 58200, 58200, 0},
-    {"AB", "HYBR", false, 154, 299, 1, 0.99516908212560384, 30200, 30200, 0},
-    {"AB", "RISK", false, 10, 299, 1, 0.99516908212560384, 54128, 54128, 0},
+     12896, 12896, 0, 38949, 0.98858230256898194, 0.98764258555133078},
+    {"AB", "BASE", false, 267, 299, 1, 0.94202898550724634, 6600, 6600, 0,
+     119805, 1, 0.94202898550724634},
+    {"AB", "SAMP", false, 10, 299, 1, 1, 58200, 58200, 0, 119793, 1, 1},
+    {"AB", "HYBR", false, 154, 299, 1, 0.99516908212560384, 30200, 30200, 0,
+     119794, 1, 0.99516908212560384},
+    {"AB", "RISK", false, 10, 299, 1, 0.99516908212560384, 54128, 54128, 0,
+     119794, 1, 0.99516908212560384},
 };
 
 struct ActualRow {
   core::HumoSolution solution;
   double precision = 0.0, recall = 0.0;
   size_t human_cost = 0, total_requests = 0, duplicate_requests = 0;
+  size_t num_entities = 0;
+  double entity_precision = 0.0, entity_recall = 0.0;
 };
 
 ActualRow RunOptimizer(const data::Workload& w, const std::string& which) {
@@ -101,6 +117,15 @@ ActualRow RunOptimizer(const data::Workload& w, const std::string& which) {
   row.human_cost = oracle.cost();
   row.total_requests = oracle.total_requests();
   row.duplicate_requests = oracle.duplicate_requests();
+  // Entity view of the same resolution, pinned exactly like the pairwise
+  // numbers: clustering the final labels must be deterministic too.
+  const entity::EntityClustering clustering =
+      entity::EntityClustering::FromLabels(w, labels);
+  const eval::EntityQuality entity_quality =
+      eval::EntityQualityOf(eval::TruthClustering(w), clustering);
+  row.num_entities = clustering.num_entities();
+  row.entity_precision = entity_quality.precision;
+  row.entity_recall = entity_quality.recall;
   return row;
 }
 
@@ -122,11 +147,13 @@ void CheckRow(const data::Workload& w, const GoldenRow& golden) {
   const ActualRow actual = RunOptimizer(w, golden.optimizer);
   if (std::getenv("HUMO_PRINT_GOLDEN") != nullptr) {
     std::printf(
-        "    {\"%s\", \"%s\", %s, %zu, %zu, %.17g, %.17g, %zu, %zu, %zu},\n",
+        "    {\"%s\", \"%s\", %s, %zu, %zu, %.17g, %.17g, %zu, %zu, %zu, "
+        "%zu, %.17g, %.17g},\n",
         golden.workload, golden.optimizer,
         actual.solution.empty ? "true" : "false", actual.solution.h_lo,
         actual.solution.h_hi, actual.precision, actual.recall,
-        actual.human_cost, actual.total_requests, actual.duplicate_requests);
+        actual.human_cost, actual.total_requests, actual.duplicate_requests,
+        actual.num_entities, actual.entity_precision, actual.entity_recall);
     return;
   }
   EXPECT_EQ(actual.solution.empty, golden.empty);
@@ -137,6 +164,9 @@ void CheckRow(const data::Workload& w, const GoldenRow& golden) {
   EXPECT_EQ(actual.human_cost, golden.human_cost);
   EXPECT_EQ(actual.total_requests, golden.total_requests);
   EXPECT_EQ(actual.duplicate_requests, golden.duplicate_requests);
+  EXPECT_EQ(actual.num_entities, golden.num_entities);
+  EXPECT_EQ(actual.entity_precision, golden.entity_precision);
+  EXPECT_EQ(actual.entity_recall, golden.entity_recall);
 }
 
 TEST_F(GoldenRegressionTest, DsSnapshotExact) {

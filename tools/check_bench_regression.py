@@ -31,6 +31,13 @@ The per-bench contract (keyed by the JSON's "bench" field):
   serving         key (workload,     higher-better lookups_per_sec
                   pairs, shards,     exact         drained_equals_synchronous,
                   readers)                         snapshots_consistent
+  entities        key (pairs)        higher-better cluster_mpairs_per_sec
+                                     exact         records, entities,
+                                                   disagreements_before,
+                                                   disagreements_after,
+                                                   exact_recovery,
+                                                   repaired_transitive,
+                                                   thread_invariant
 
 --selftest proves the gate can actually fail: it fabricates a baseline,
 injects a 25% regression into a copy, and asserts the comparison rejects it
@@ -75,6 +82,20 @@ CONTRACTS = {
         "higher": ("lookups_per_sec",),
         "lower": (),
         "exact": ("drained_equals_synchronous", "snapshots_consistent"),
+    },
+    "entities": {
+        "key": ("pairs",),
+        "higher": ("cluster_mpairs_per_sec",),
+        "lower": (),
+        "exact": (
+            "records",
+            "entities",
+            "disagreements_before",
+            "disagreements_after",
+            "exact_recovery",
+            "repaired_transitive",
+            "thread_invariant",
+        ),
     },
 }
 
@@ -194,6 +215,31 @@ def selftest():
     flipped["results"][0]["identical_labels"] = False
     assert compare(lower, flipped, TOLERANCE_DEFAULT), (
         "selftest: exact field flip must be rejected"
+    )
+
+    entities = {
+        "bench": "entities",
+        "results": [
+            {
+                "pairs": 1000000,
+                "records": 30000,
+                "entities": 10000,
+                "cluster_mpairs_per_sec": 20.0,
+                "disagreements_before": 2000,
+                "disagreements_after": 100,
+                "exact_recovery": True,
+                "repaired_transitive": True,
+                "thread_invariant": True,
+            }
+        ],
+    }
+    drifted = copy.deepcopy(entities)
+    drifted["results"][0]["disagreements_after"] = 101
+    assert compare(entities, drifted, TOLERANCE_DEFAULT), (
+        "selftest: entity determinism drift must be rejected"
+    )
+    assert compare(entities, copy.deepcopy(entities), TOLERANCE_DEFAULT) == [], (
+        "selftest: clean entities run must pass"
     )
     print("selftest OK: gate rejects injected regressions and passes clean runs")
     return 0
