@@ -99,6 +99,7 @@
 #include "core/baseline_optimizer.h"
 #include "core/budgeted_resolver.h"
 #include "core/crowd_oracle.h"
+#include "core/crowd_tasks.h"
 #include "core/estimation_engine.h"
 #include "core/gp_subset_model.h"
 #include "core/hybrid_optimizer.h"
@@ -143,6 +144,7 @@
 #include "ml/logistic_regression.h"
 #include "ml/metrics.h"
 #include "ml/scaler.h"
+#include "stats/dawid_skene.h"
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
 #include "stats/proportion.h"

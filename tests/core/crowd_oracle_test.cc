@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "data/logistic_generator.h"
 
 namespace humo::core {
@@ -93,6 +97,197 @@ TEST(CrowdOracleTest, DeterministicUnderSeed) {
   o.seed = 99;
   CrowdOracle a(&w, o), b(&w, o);
   for (size_t i = 0; i < 200; ++i) EXPECT_EQ(a.Label(i), b.Label(i));
+}
+
+TEST(CrowdOracleTest, OptionsAreValidatedInEveryBuildMode) {
+  // These used to be Debug-only asserts: a Release build would silently run
+  // an even jury (majority ties break toward non-match) or a nonsense error
+  // rate. The clamping below is the pinned contract.
+  CrowdOptions o;
+  o.workers_per_pair = 4;  // even: round UP to the next odd count
+  o.worker_error_rate = 1.7;
+  o.worker_error_spread = 0.9;
+  o.worker_pool = 2;  // smaller than one pair's jury
+  o.ds_em_iterations = 0;
+  const CrowdOptions v = ValidateCrowdOptions(o);
+  EXPECT_EQ(v.workers_per_pair, 5u);
+  EXPECT_DOUBLE_EQ(v.worker_error_rate, 1.0);
+  EXPECT_DOUBLE_EQ(v.worker_error_spread, 0.5);
+  EXPECT_EQ(v.worker_pool, 5u);
+  EXPECT_EQ(v.ds_em_iterations, 1u);
+
+  CrowdOptions z;
+  z.workers_per_pair = 0;
+  z.worker_error_rate = -0.5;
+  const CrowdOptions vz = ValidateCrowdOptions(z);
+  EXPECT_EQ(vz.workers_per_pair, 1u);
+  EXPECT_DOUBLE_EQ(vz.worker_error_rate, 0.0);
+
+  CrowdOptions n;
+  n.worker_error_rate = std::nan("");
+  n.worker_error_spread = std::nan("");
+  const CrowdOptions vn = ValidateCrowdOptions(n);
+  EXPECT_DOUBLE_EQ(vn.worker_error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(vn.worker_error_spread, 0.0);
+
+  // The constructor applies the same validation — the oracle never runs on
+  // raw out-of-range options.
+  const data::Workload w = MakeWorkload(100);
+  CrowdOracle crowd(&w, o);
+  EXPECT_EQ(crowd.options().workers_per_pair, 5u);
+  crowd.Label(0);
+  EXPECT_EQ(crowd.worker_answers(), 5u);
+}
+
+TEST(CrowdOracleTest, CountersNeverUnderflowAcrossPreloadInspectOrderings) {
+  // Mirror of OracleTest.CostNeverUnderflowsAcrossPreloadInspectOrderings:
+  // the crowd backend carries the same evidence seam and the same direct
+  // counters, so no preload/inspect ordering can skew the accounting.
+  const data::Workload w = MakeWorkload(200);
+  const size_t kHuge = static_cast<size_t>(-1) / 2;
+
+  {
+    // Preload then request the SAME pair: served from memory, no workers.
+    CrowdOracle crowd(&w);
+    crowd.Preload(3, !w.IsMatch(3));
+    EXPECT_EQ(crowd.worker_answers(), 0u);
+    EXPECT_EQ(crowd.Label(3), !w.IsMatch(3));  // preloaded verdict wins
+    EXPECT_EQ(crowd.worker_answers(), 0u);
+    EXPECT_EQ(crowd.pairs_adjudicated(), 0u);
+    EXPECT_EQ(crowd.preloaded(), 1u);
+    EXPECT_EQ(crowd.total_requests(), 1u);
+    EXPECT_EQ(crowd.duplicate_requests(), 1u);
+    EXPECT_LT(crowd.duplicate_requests(), kHuge);  // the underflow guard
+  }
+  {
+    // Adjudicate fresh FIRST, then preload the same pair: a no-op that
+    // neither rewrites history nor inflates preloaded().
+    CrowdOracle crowd(&w);
+    const bool verdict = crowd.Label(7);
+    crowd.Preload(7, !verdict);
+    crowd.Preload(7, !verdict);
+    EXPECT_EQ(crowd.pairs_adjudicated(), 1u);
+    EXPECT_EQ(crowd.preloaded(), 0u);
+    EXPECT_EQ(crowd.CachedAnswer(7), verdict);
+  }
+  {
+    // Repeated preloads of one index count once.
+    CrowdOracle crowd(&w);
+    crowd.Preload(2, true);
+    crowd.Preload(2, true);
+    crowd.Preload(2, false);
+    EXPECT_EQ(crowd.preloaded(), 1u);
+    EXPECT_TRUE(crowd.CachedAnswer(2));
+  }
+  {
+    // Preload many, purchase few: duplicate_requests stays exact with
+    // preloads outnumbering purchases (the old known_count()-derived
+    // formula wrapped to ~SIZE_MAX here).
+    CrowdOracle crowd(&w);
+    for (size_t i = 0; i < 5; ++i) crowd.Preload(i, true);
+    const std::vector<char> batch = crowd.InspectBatch({0, 1, 9, 9});
+    EXPECT_EQ(batch.size(), 4u);
+    EXPECT_EQ(crowd.pairs_adjudicated(), 1u);  // only pair 9 was purchased
+    EXPECT_EQ(crowd.preloaded(), 5u);
+    EXPECT_EQ(crowd.total_requests(), 4u);
+    EXPECT_EQ(crowd.duplicate_requests(), 3u);
+    EXPECT_LT(crowd.duplicate_requests(), kHuge);
+
+    const auto snapshot = crowd.AnswerSnapshot();
+    EXPECT_EQ(snapshot.size(), 6u);  // 5 preloads + pair 9
+    for (size_t k = 1; k < snapshot.size(); ++k) {
+      EXPECT_LT(snapshot[k - 1].first, snapshot[k].first);  // ascending
+    }
+  }
+}
+
+CrowdOptions PoolOptions() {
+  CrowdOptions o;
+  o.worker_pool = 25;
+  o.workers_per_pair = 3;
+  o.worker_error_rate = 0.25;
+  o.worker_error_spread = 0.2;
+  o.seed = 7;
+  return o;
+}
+
+TEST(CrowdOracleTest, WorkerPoolIsDeterministicAndHeterogeneous) {
+  const data::Workload w = MakeWorkload(2000);
+  const CrowdOptions o = PoolOptions();
+  CrowdOracle a(&w, o), b(&w, o);
+  for (size_t i = 0; i < 500; ++i) EXPECT_EQ(a.Label(i), b.Label(i));
+  EXPECT_EQ(a.worker_answers(), b.worker_answers());
+
+  // Planted per-worker errors stay in [0, 0.49] and actually spread out.
+  double lo = 1.0, hi = 0.0;
+  for (size_t wk = 0; wk < o.worker_pool; ++wk) {
+    const double e = a.PlantedWorkerError(wk);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 0.49);
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_GT(hi - lo, 0.1);
+}
+
+TEST(CrowdOracleTest, DawidSkeneBeatsMajorityOnHeterogeneousPool) {
+  const data::Workload w = MakeWorkload(4000);
+  const CrowdOptions base = PoolOptions();
+  CrowdOptions ds = base;
+  ds.aggregation = CrowdAggregation::kDawidSkene;
+  CrowdOracle majority(&w, base), em(&w, ds);
+  // Same seed, same pool, same votes — only the fold differs. Batched so
+  // the EM history grows in realistic task-sized purchases.
+  std::vector<size_t> chunk;
+  for (size_t begin = 0; begin < w.size(); begin += 1000) {
+    chunk.clear();
+    for (size_t i = begin; i < std::min(begin + 1000, w.size()); ++i) {
+      chunk.push_back(i);
+    }
+    majority.InspectBatch(chunk);
+    em.InspectBatch(chunk);
+  }
+  EXPECT_EQ(majority.worker_answers(), em.worker_answers());
+  EXPECT_LT(em.VerdictErrorRate(), majority.VerdictErrorRate())
+      << "majority " << majority.VerdictErrorRate() << " vs DS "
+      << em.VerdictErrorRate();
+
+  // And the EM's per-worker estimates track the planted error rates.
+  const std::vector<double>& est = em.worker_error_estimates();
+  ASSERT_EQ(est.size(), base.worker_pool);
+  double mean_abs_dev = 0.0;
+  for (size_t wk = 0; wk < base.worker_pool; ++wk) {
+    mean_abs_dev += std::fabs(est[wk] - em.PlantedWorkerError(wk));
+  }
+  mean_abs_dev /= static_cast<double>(base.worker_pool);
+  EXPECT_LT(mean_abs_dev, 0.06);
+}
+
+TEST(CrowdOracleTest, DawidSkeneFallsBackToMajorityOnThinEvidence) {
+  const data::Workload w = MakeWorkload(500);
+  CrowdOptions ds = PoolOptions();
+  ds.aggregation = CrowdAggregation::kDawidSkene;
+  ds.ds_min_adjudicated = 50;
+  CrowdOptions maj = PoolOptions();
+  CrowdOracle a(&w, ds), b(&w, maj);
+  // Below the threshold every verdict must equal the majority fold.
+  for (size_t i = 0; i < 49; ++i) EXPECT_EQ(a.Label(i), b.Label(i));
+  EXPECT_TRUE(a.worker_error_estimates().empty());
+}
+
+TEST(CrowdOracleTest, DawidSkeneIsDeterministic) {
+  const data::Workload w = MakeWorkload(1000);
+  CrowdOptions ds = PoolOptions();
+  ds.aggregation = CrowdAggregation::kDawidSkene;
+  CrowdOracle a(&w, ds), b(&w, ds);
+  std::vector<size_t> all(w.size());
+  for (size_t i = 0; i < w.size(); ++i) all[i] = i;
+  EXPECT_EQ(a.InspectBatch(all), b.InspectBatch(all));
+  ASSERT_EQ(a.worker_error_estimates().size(),
+            b.worker_error_estimates().size());
+  for (size_t wk = 0; wk < a.worker_error_estimates().size(); ++wk) {
+    EXPECT_EQ(a.worker_error_estimates()[wk], b.worker_error_estimates()[wk]);
+  }
 }
 
 }  // namespace

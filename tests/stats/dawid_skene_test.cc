@@ -1,0 +1,186 @@
+#include "stats/dawid_skene.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace humo::stats {
+namespace {
+
+/// Deterministic unit draw, independent of any library RNG so the planted
+/// scenario is fixed forever.
+double Unit(uint64_t a, uint64_t b) {
+  uint64_t z =
+      0x9E3779B97F4A7C15ULL * (a + 1) ^ 0xBF58476D1CE4E5B9ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+struct Planted {
+  size_t num_items = 0;
+  size_t num_workers = 0;
+  std::vector<char> truth;          // per item
+  std::vector<double> worker_error;  // per worker
+  std::vector<CrowdVote> votes;
+};
+
+/// `workers_per_item` distinct workers judge each item; worker w flips the
+/// truth with its fixed error rate from `worker_errors`.
+Planted Simulate(size_t num_items, std::vector<double> worker_errors,
+                 size_t workers_per_item) {
+  Planted p;
+  p.num_items = num_items;
+  p.num_workers = worker_errors.size();
+  p.truth.resize(num_items);
+  p.worker_error = std::move(worker_errors);
+  const size_t num_workers = p.num_workers;
+  std::vector<uint32_t> jury;
+  for (size_t i = 0; i < num_items; ++i) {
+    p.truth[i] = Unit(1, i) < 0.5 ? 1 : 0;
+    // Pseudo-random DISTINCT jury per item (linear probing), so jury
+    // composition varies — including the occasional bad-majority jury the
+    // worker-quality weighting exists to overrule.
+    jury.clear();
+    for (size_t slot = 0; slot < workers_per_item; ++slot) {
+      uint32_t w = static_cast<uint32_t>(
+          static_cast<size_t>(Unit(500 + slot, i) *
+                              static_cast<double>(num_workers)) %
+          num_workers);
+      while (std::find(jury.begin(), jury.end(), w) != jury.end()) {
+        w = (w + 1) % static_cast<uint32_t>(num_workers);
+      }
+      jury.push_back(w);
+      bool answer = p.truth[i] != 0;
+      if (Unit(1000 + i, w) < p.worker_error[w]) answer = !answer;
+      p.votes.push_back({static_cast<uint32_t>(i), w,
+                         static_cast<uint8_t>(answer ? 1 : 0)});
+    }
+  }
+  return p;
+}
+
+/// Uniform heterogeneity: errors in [base - spread, base + spread].
+std::vector<double> UniformErrors(size_t num_workers, double base,
+                                  double spread) {
+  std::vector<double> e(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    e[w] = base + spread * (2.0 * Unit(7, w) - 1.0);
+  }
+  return e;
+}
+
+/// The regime Dawid–Skene exists for: most of the pool is reliable, a
+/// third is near-random. Majority vote counts both kinds at face value.
+std::vector<double> BimodalErrors(size_t num_workers) {
+  std::vector<double> e(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    e[w] = w % 3 == 0 ? 0.45 : 0.08;
+  }
+  return e;
+}
+
+size_t MajorityErrors(const Planted& p) {
+  std::vector<int> net(p.num_items, 0);
+  for (const CrowdVote& v : p.votes) net[v.item] += v.answer ? 1 : -1;
+  size_t errors = 0;
+  for (size_t i = 0; i < p.num_items; ++i) {
+    errors += (net[i] > 0) != (p.truth[i] != 0);
+  }
+  return errors;
+}
+
+size_t DsErrors(const Planted& p, const DawidSkeneResult& r) {
+  size_t errors = 0;
+  for (size_t i = 0; i < p.num_items; ++i) {
+    errors += (r.posterior[i] > 0.5) != (p.truth[i] != 0);
+  }
+  return errors;
+}
+
+TEST(DawidSkeneTest, BitwiseDeterministic) {
+  const Planted p = Simulate(400, UniformErrors(25, 0.25, 0.2), 3);
+  const DawidSkeneResult a = RunDawidSkene(p.num_items, p.num_workers, p.votes);
+  const DawidSkeneResult b = RunDawidSkene(p.num_items, p.num_workers, p.votes);
+  ASSERT_EQ(a.posterior.size(), b.posterior.size());
+  for (size_t i = 0; i < a.posterior.size(); ++i) {
+    EXPECT_EQ(a.posterior[i], b.posterior[i]) << "item " << i;
+  }
+  for (size_t w = 0; w < p.num_workers; ++w) {
+    EXPECT_EQ(a.sensitivity[w], b.sensitivity[w]);
+    EXPECT_EQ(a.specificity[w], b.specificity[w]);
+    EXPECT_EQ(a.error_rate[w], b.error_rate[w]);
+  }
+}
+
+TEST(DawidSkeneTest, RecoversPlantedWorkerErrorRates) {
+  // Many items per worker so the confusion estimates concentrate.
+  const Planted p = Simulate(3000, UniformErrors(20, 0.25, 0.2), 3);
+  const DawidSkeneResult r = RunDawidSkene(p.num_items, p.num_workers, p.votes);
+  double mean_abs_dev = 0.0;
+  for (size_t w = 0; w < p.num_workers; ++w) {
+    mean_abs_dev += std::fabs(r.error_rate[w] - p.worker_error[w]);
+  }
+  mean_abs_dev /= static_cast<double>(p.num_workers);
+  // Each worker judges ~450 items; the EM estimate should sit within a few
+  // points of the planted rate on average.
+  EXPECT_LT(mean_abs_dev, 0.05);
+  // And it must separate the best worker from the worst.
+  size_t best = 0, worst = 0;
+  for (size_t w = 1; w < p.num_workers; ++w) {
+    if (p.worker_error[w] < p.worker_error[best]) best = w;
+    if (p.worker_error[w] > p.worker_error[worst]) worst = w;
+  }
+  EXPECT_LT(r.error_rate[best], r.error_rate[worst]);
+}
+
+TEST(DawidSkeneTest, BeatsMajorityVoteOnHeterogeneousWorkers) {
+  // A third of the pool near-random, the rest reliable: juries with a
+  // bad-worker majority are common, and down-weighting the bad workers
+  // must strictly reduce aggregate error.
+  const Planted p = Simulate(3000, BimodalErrors(21), 5);
+  const DawidSkeneResult r = RunDawidSkene(p.num_items, p.num_workers, p.votes);
+  const size_t majority = MajorityErrors(p);
+  const size_t ds = DsErrors(p, r);
+  EXPECT_LT(ds, majority) << "majority errors " << majority << ", DS " << ds;
+}
+
+TEST(DawidSkeneTest, MatchesMajorityOnHomogeneousWorkers) {
+  // All workers identical: weighting cannot help, but it must not hurt
+  // (beyond ties the prior breaks differently).
+  const Planted p = Simulate(2000, UniformErrors(15, 0.15, 0.0), 3);
+  const DawidSkeneResult r = RunDawidSkene(p.num_items, p.num_workers, p.votes);
+  const size_t majority = MajorityErrors(p);
+  const size_t ds = DsErrors(p, r);
+  EXPECT_LE(ds, majority + majority / 10 + 5);
+}
+
+TEST(DawidSkeneTest, DegenerateInputsAreSafe) {
+  // No votes at all: posteriors fall back to the prior, nothing crashes.
+  const DawidSkeneResult empty = RunDawidSkene(3, 2, {});
+  ASSERT_EQ(empty.posterior.size(), 3u);
+  for (const double p : empty.posterior) EXPECT_DOUBLE_EQ(p, 0.5);
+
+  // Zero items.
+  const DawidSkeneResult none = RunDawidSkene(0, 0, {});
+  EXPECT_TRUE(none.posterior.empty());
+
+  // Unanimous single worker: posteriors must follow the votes.
+  std::vector<CrowdVote> votes = {{0, 0, 1}, {1, 0, 0}};
+  const DawidSkeneResult r = RunDawidSkene(2, 1, votes);
+  EXPECT_GT(r.posterior[0], 0.5);
+  EXPECT_LT(r.posterior[1], 0.5);
+
+  // One EM iteration is legal and deterministic.
+  DawidSkeneOptions one;
+  one.iterations = 1;
+  const DawidSkeneResult r1 = RunDawidSkene(2, 1, votes, one);
+  EXPECT_EQ(r1.iterations_run, 1u);
+}
+
+}  // namespace
+}  // namespace humo::stats

@@ -38,6 +38,11 @@ The per-bench contract (keyed by the JSON's "bench" field):
                                                    exact_recovery,
                                                    repaired_transitive,
                                                    thread_invariant
+  crowd           key (workload,     higher-better inferred_fraction,
+                  certifier, pairs)                task_reduction
+                                     exact         tasks_le_questions,
+                                                   certified,
+                                                   thread_invariant
 
 --selftest proves the gate can actually fail: it fabricates a baseline,
 injects a 25% regression into a copy, and asserts the comparison rejects it
@@ -96,6 +101,15 @@ CONTRACTS = {
             "repaired_transitive",
             "thread_invariant",
         ),
+    },
+    "crowd": {
+        "key": ("workload", "certifier", "pairs"),
+        # DS/AB rows carry inferred_fraction 0 (degree-1 records, nothing
+        # to infer); the b > 0 guard keeps them out of the ratio check and
+        # the ENT rows gate at the standard 20% tolerance.
+        "higher": ("inferred_fraction", "task_reduction"),
+        "lower": (),
+        "exact": ("tasks_le_questions", "certified", "thread_invariant"),
     },
 }
 
@@ -241,6 +255,46 @@ def selftest():
     assert compare(entities, copy.deepcopy(entities), TOLERANCE_DEFAULT) == [], (
         "selftest: clean entities run must pass"
     )
+
+    crowd = {
+        "bench": "crowd",
+        "results": [
+            {
+                "workload": "ENT",
+                "certifier": "SAMP",
+                "pairs": 27218,
+                "inferred_fraction": 0.35,
+                "task_reduction": 0.93,
+                "tasks_le_questions": True,
+                "certified": True,
+                "thread_invariant": True,
+            },
+            {
+                "workload": "DS",
+                "certifier": "RISK",
+                "pairs": 20000,
+                "inferred_fraction": 0.0,
+                "task_reduction": 0.89,
+                "tasks_le_questions": True,
+                "certified": True,
+                "thread_invariant": True,
+            },
+        ],
+    }
+    assert compare(crowd, copy.deepcopy(crowd), TOLERANCE_DEFAULT) == [], (
+        "selftest: clean crowd run must pass"
+    )
+    less_inferred = copy.deepcopy(crowd)
+    less_inferred["results"][0]["inferred_fraction"] *= 0.75  # 25% loss
+    assert compare(crowd, less_inferred, TOLERANCE_DEFAULT), (
+        "selftest: inferred-fraction regression must be rejected"
+    )
+    uncertified = copy.deepcopy(crowd)
+    uncertified["results"][1]["certified"] = False
+    assert compare(crowd, uncertified, TOLERANCE_DEFAULT), (
+        "selftest: guarantee flag flip must be rejected"
+    )
+
     print("selftest OK: gate rejects injected regressions and passes clean runs")
     return 0
 
