@@ -1,0 +1,352 @@
+// Sharded-vs-oneshot comparison for the budget-allocating shard
+// coordinator: over a shard-count grid on the simulated DS and AB
+// workloads, resolve through ShardCoordinator (both transports) and compare
+// against the one-shot StreamingResolver run — the tentpole contract is
+// that the merged solution, labeling, and total oracle cost are
+// bit-identical at every K.
+//
+// The bench *checks* the contracts it advertises and exits nonzero on any
+// violation, so the committed BENCH_sharded.json cannot silently go stale:
+//   * every (workload, transport, K) row: sharded labeling, solution range,
+//     and total oracle cost IDENTICAL to the one-shot run, and the
+//     coordinator's own evidence/labels consistency verdicts true;
+//   * fork rows must actually run the fork transport (no silent in-process
+//     degradation on platforms that support fork);
+//   * the data-plane speedup row: a parallel-built shard fleet (slice +
+//     partition + labeling + evidence per shard, fanned out on the thread
+//     pool) must produce labels and evidence bitwise identical to the
+//     serially built fleet; its serial/parallel wall ratio is the gated
+//     shard_speedup (contract rows carry 0.0 there — the b > 0 guard in
+//     check_bench_regression.py keeps unmeasured rows out of that gate).
+//
+// Environment knobs (all optional):
+//   HUMO_SHARD_BENCH_PAIRS_DS      DS workload size (default 20000)
+//   HUMO_SHARD_BENCH_PAIRS_AB      AB workload size (default 60000)
+//   HUMO_SHARD_BENCH_SPEEDUP_PAIRS speedup-row workload size (default 1M)
+//   HUMO_SHARD_BENCH_REPS          speedup reps, min taken (default 3)
+//   HUMO_BENCH_SHARDED_JSON        output path (default BENCH_sharded.json)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "humo.h"
+
+using namespace humo;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Row {
+  std::string workload;
+  std::string transport;  // inprocess | fork | dataplane
+  size_t shards = 0;
+  size_t pairs = 0;
+  size_t oneshot_cost = 0;
+  size_t sharded_cost = 0;
+  bool merged_equals_oneshot = false;
+  bool evidence_consistent = false;
+  bool labels_consistent = false;
+  bool transport_ran_as_requested = false;
+  double shard_speedup = 0.0;  // gated on the dataplane row only
+  double oneshot_ms = 0.0;
+  double sharded_ms = 0.0;
+};
+
+struct OneShot {
+  core::HumoSolution solution;
+  std::vector<int> labels;
+  size_t cost = 0;
+  double ms = 0.0;
+};
+
+core::StreamingOptions Streaming() {
+  core::StreamingOptions options;
+  options.sampling.seed = bench::BaseSeed();
+  return options;
+}
+
+OneShot RunOneShot(const data::Workload& w,
+                   const core::QualityRequirement& req) {
+  const auto start = std::chrono::steady_clock::now();
+  core::StreamingResolver resolver(Streaming(), req);
+  resolver.Ingest(data::Shard{0, w.MaterializePairs()});
+  auto cert = resolver.Certify();
+  if (!cert.ok()) {
+    std::fprintf(stderr, "one-shot certify failed: %s\n",
+                 cert.status().message().c_str());
+    std::exit(1);
+  }
+  OneShot run;
+  run.solution = cert->solution;
+  run.labels = cert->resolution.labels;
+  run.cost = cert->total_inspections;
+  run.ms = MsSince(start);
+  return run;
+}
+
+/// Builds the K-shard fleet data plane (slice + partition per shard), labels
+/// every pair under `plan`, and collects evidence — serially or fanned out
+/// on the global pool. Returns concatenated labels and evidence for the
+/// bitwise serial==parallel check.
+struct DataPlaneRun {
+  std::vector<int> labels;
+  std::vector<core::ShardEvidence> evidence;
+  double ms = 0.0;
+};
+
+DataPlaneRun RunDataPlane(const data::Workload& w,
+                          const std::vector<core::ShardSpec>& specs,
+                          const core::GlobalLabelingPlan& plan,
+                          bool parallel) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::vector<int>> labels(specs.size());
+  std::vector<core::ShardEvidence> evidence(specs.size());
+  auto body = [&](size_t k) {
+    core::ShardResolver resolver(w, specs[k], 200, 0.0, 99);
+    labels[k] = resolver.ApplyGlobal(plan);
+    evidence[k] = resolver.Evidence();
+  };
+  if (parallel) {
+    ThreadPool::Global()->ParallelFor(specs.size(), 1,
+                                      [&](size_t begin, size_t end) {
+                                        for (size_t k = begin; k < end; ++k) {
+                                          body(k);
+                                        }
+                                      });
+  } else {
+    for (size_t k = 0; k < specs.size(); ++k) body(k);
+  }
+  DataPlaneRun run;
+  run.ms = MsSince(start);
+  for (auto& part : labels) {
+    run.labels.insert(run.labels.end(), part.begin(), part.end());
+  }
+  run.evidence = std::move(evidence);
+  return run;
+}
+
+bool SameEvidence(const std::vector<core::ShardEvidence>& a,
+                  const std::vector<core::ShardEvidence>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k].cost != b[k].cost || a[k].strata.size() != b[k].strata.size() ||
+        a[k].posterior_alpha != b[k].posterior_alpha ||
+        a[k].posterior_beta != b[k].posterior_beta) {
+      return false;
+    }
+    for (size_t j = 0; j < a[k].strata.size(); ++j) {
+      if (a[k].strata[j].population != b[k].strata[j].population ||
+          a[k].strata[j].sample_size != b[k].strata[j].sample_size ||
+          a[k].strata[j].sample_positives != b[k].strata[j].sample_positives) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "bench_sharded — sharded multi-process resolution vs one-shot HUMO",
+      "ISSUE 10 coordinator contracts: bit-identity at K in {1,2,4,8}, "
+      "both transports, plus the parallel data-plane speedup");
+
+  const size_t ds_pairs =
+      static_cast<size_t>(GetEnvInt64("HUMO_SHARD_BENCH_PAIRS_DS", 20000));
+  const size_t ab_pairs =
+      static_cast<size_t>(GetEnvInt64("HUMO_SHARD_BENCH_PAIRS_AB", 60000));
+  const size_t speedup_pairs = static_cast<size_t>(
+      GetEnvInt64("HUMO_SHARD_BENCH_SPEEDUP_PAIRS", 1000000));
+  const size_t reps =
+      static_cast<size_t>(GetEnvInt64("HUMO_SHARD_BENCH_REPS", 3));
+  const core::QualityRequirement req{0.9, 0.9, 0.9};
+
+  std::vector<Row> rows;
+  bool contract_ok = true;
+
+  for (const char* name : {"DS", "AB"}) {
+    const bool is_ds = name[0] == 'D';
+    const data::Workload base = data::SimulatePairs(
+        is_ds ? data::DsConfigSmall(555, ds_pairs)
+              : data::AbConfigSmall(1234, ab_pairs));
+    std::printf("%s: %zu pairs, %zu matches\n", name, base.size(),
+                base.CountMatches());
+    const OneShot oneshot = RunOneShot(base, req);
+
+    for (const core::ShardTransport transport :
+         {core::ShardTransport::kInProcess, core::ShardTransport::kFork}) {
+      for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        Row row;
+        row.workload = name;
+        row.transport =
+            transport == core::ShardTransport::kFork ? "fork" : "inprocess";
+        row.shards = shards;
+        row.pairs = base.size();
+        row.oneshot_cost = oneshot.cost;
+        row.oneshot_ms = oneshot.ms;
+
+        const auto start = std::chrono::steady_clock::now();
+        core::ShardedOptions options;
+        options.num_shards = shards;
+        options.transport = transport;
+        options.streaming = Streaming();
+        const auto sharded =
+            core::ShardCoordinator(options, req).Resolve(base);
+        if (!sharded.ok()) {
+          std::fprintf(stderr, "sharded resolve failed (%s %s K=%zu): %s\n",
+                       name, row.transport.c_str(), shards,
+                       sharded.status().message().c_str());
+          return 1;
+        }
+        row.sharded_ms = MsSince(start);
+        row.sharded_cost = sharded->merged_cost;
+        row.merged_equals_oneshot =
+            sharded->certificate.resolution.labels == oneshot.labels &&
+            sharded->certificate.solution.h_lo == oneshot.solution.h_lo &&
+            sharded->certificate.solution.h_hi == oneshot.solution.h_hi &&
+            sharded->certificate.solution.empty == oneshot.solution.empty &&
+            sharded->merged_cost == oneshot.cost;
+        row.evidence_consistent = sharded->evidence_consistent;
+        row.labels_consistent = sharded->labels_consistent;
+        // A fork request may only degrade where the platform lacks fork;
+        // this bench pins that the CI platform exercises the real thing.
+        row.transport_ran_as_requested =
+            transport == core::ShardTransport::kInProcess ||
+            sharded->transport == core::ShardTransport::kFork ||
+            !ForkTransportAvailable();
+
+        if (!row.merged_equals_oneshot || !row.evidence_consistent ||
+            !row.labels_consistent || !row.transport_ran_as_requested) {
+          std::fprintf(stderr,
+                       "CONTRACT VIOLATION: %s %s K=%zu merged=%d "
+                       "evidence=%d labels=%d transport=%d\n",
+                       name, row.transport.c_str(), shards,
+                       row.merged_equals_oneshot ? 1 : 0,
+                       row.evidence_consistent ? 1 : 0,
+                       row.labels_consistent ? 1 : 0,
+                       row.transport_ran_as_requested ? 1 : 0);
+          contract_ok = false;
+        }
+        rows.push_back(row);
+      }
+    }
+  }
+
+  // Data-plane speedup row: the per-shard work (slice copy, partition
+  // build, labeling, evidence walk) is what sharding parallelizes; the
+  // certifier's decision path stays serial by design. Serial vs pool-fanned
+  // fleet at K=4 on a large DS-shaped workload, best of `reps`, with the
+  // bitwise serial==parallel determinism check.
+  {
+    const data::Workload big =
+        data::SimulatePairs(data::DsConfigSmall(555, speedup_pairs));
+    const auto specs = core::ShardCoordinator::PlanShards(big.size(), 200, 4);
+    core::GlobalLabelingPlan plan;
+    plan.match_from = big.size() / 2;  // machine-only split labeling
+
+    Row row;
+    row.workload = "DS";
+    row.transport = "dataplane";
+    row.shards = specs.size();
+    row.pairs = big.size();
+    row.merged_equals_oneshot = true;  // not applicable; pinned true
+    row.transport_ran_as_requested = true;
+
+    double serial_ms = 0.0, parallel_ms = 0.0;
+    bool identical = true;
+    for (size_t r = 0; r < reps; ++r) {
+      const DataPlaneRun serial = RunDataPlane(big, specs, plan, false);
+      const DataPlaneRun parallel = RunDataPlane(big, specs, plan, true);
+      identical = identical && serial.labels == parallel.labels &&
+                  SameEvidence(serial.evidence, parallel.evidence);
+      serial_ms = r == 0 ? serial.ms : std::min(serial_ms, serial.ms);
+      parallel_ms = r == 0 ? parallel.ms : std::min(parallel_ms, parallel.ms);
+    }
+    row.labels_consistent = identical;
+    row.evidence_consistent = identical;
+    row.shard_speedup = parallel_ms == 0.0 ? 0.0 : serial_ms / parallel_ms;
+    row.oneshot_ms = serial_ms;
+    row.sharded_ms = parallel_ms;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "CONTRACT VIOLATION: parallel data plane diverged from "
+                   "serial at %zu pairs\n",
+                   big.size());
+      contract_ok = false;
+    }
+    std::printf(
+        "data plane (%zu pairs, K=%zu): serial %.1f ms, parallel %.1f ms, "
+        "speedup %.2fx (threads=%zu)\n",
+        big.size(), specs.size(), serial_ms, parallel_ms, row.shard_speedup,
+        ThreadPool::Global()->num_threads());
+    rows.push_back(row);
+  }
+
+  std::printf("\n%-4s %-10s %7s %9s %9s %9s %7s %7s %7s %8s\n", "wl",
+              "transport", "shards", "oneshot", "sharded", "identical",
+              "evid", "labels", "speedup", "ms");
+  for (const Row& r : rows) {
+    std::printf("%-4s %-10s %7zu %9zu %9zu %9s %7s %7s %7.2f %8.1f\n",
+                r.workload.c_str(), r.transport.c_str(), r.shards,
+                r.oneshot_cost, r.sharded_cost,
+                r.merged_equals_oneshot ? "yes" : "no",
+                r.evidence_consistent ? "yes" : "no",
+                r.labels_consistent ? "yes" : "no", r.shard_speedup,
+                r.sharded_ms);
+  }
+
+  const std::string out_path =
+      GetEnvString("HUMO_BENCH_SHARDED_JSON", "BENCH_sharded.json");
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"sharded\",\n"
+       << "  \"alpha\": " << req.alpha << ",\n"
+       << "  \"beta\": " << req.beta << ",\n"
+       << "  \"theta\": " << req.theta << ",\n"
+       << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"workload\": \"%s\", \"transport\": \"%s\", \"shards\": %zu, "
+        "\"pairs\": %zu, \"oneshot_cost\": %zu, \"sharded_cost\": %zu, "
+        "\"merged_equals_oneshot\": %s, \"evidence_consistent\": %s, "
+        "\"labels_consistent\": %s, \"transport_ran_as_requested\": %s, "
+        "\"shard_speedup\": %.3f, \"oneshot_ms\": %.2f, "
+        "\"sharded_ms\": %.2f}%s\n",
+        r.workload.c_str(), r.transport.c_str(), r.shards, r.pairs,
+        r.oneshot_cost, r.sharded_cost,
+        r.merged_equals_oneshot ? "true" : "false",
+        r.evidence_consistent ? "true" : "false",
+        r.labels_consistent ? "true" : "false",
+        r.transport_ran_as_requested ? "true" : "false", r.shard_speedup,
+        r.oneshot_ms, r.sharded_ms, i + 1 < rows.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!contract_ok) {
+    std::fprintf(stderr, "sharded contracts violated; see above\n");
+    return 1;
+  }
+  std::printf("sharded contracts OK\n");
+  return 0;
+}

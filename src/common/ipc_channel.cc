@@ -1,0 +1,209 @@
+#include "common/ipc_channel.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HUMO_HAS_FORK 1
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define HUMO_HAS_FORK 0
+#endif
+
+namespace humo {
+namespace {
+
+#if HUMO_HAS_FORK
+/// write(2) until every byte is out; EINTR-restarting. False on error.
+bool WriteAll(int fd, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// read(2) until `n` bytes arrived; EINTR-restarting. False on EOF/error.
+bool ReadAll(int fd, uint8_t* data, size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::read(fd, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // peer closed mid-frame (or before one)
+    data += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
+IpcChannel& IpcChannel::operator=(IpcChannel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void IpcChannel::Close() {
+#if HUMO_HAS_FORK
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+bool IpcChannel::WriteFrame(const std::vector<uint8_t>& payload) {
+#if HUMO_HAS_FORK
+  if (fd_ < 0) return false;
+  uint8_t header[8];
+  const uint64_t len = payload.size();
+  for (int b = 0; b < 8; ++b) header[b] = uint8_t(len >> (8 * b));
+  if (!WriteAll(fd_, header, sizeof(header))) return false;
+  return payload.empty() || WriteAll(fd_, payload.data(), payload.size());
+#else
+  (void)payload;
+  return false;
+#endif
+}
+
+bool IpcChannel::ReadFrame(std::vector<uint8_t>* payload) {
+#if HUMO_HAS_FORK
+  if (fd_ < 0) return false;
+  uint8_t header[8];
+  if (!ReadAll(fd_, header, sizeof(header))) return false;
+  uint64_t len = 0;
+  for (int b = 0; b < 8; ++b) len |= uint64_t(header[b]) << (8 * b);
+  payload->resize(len);
+  return len == 0 || ReadAll(fd_, payload->data(), len);
+#else
+  (void)payload;
+  return false;
+#endif
+}
+
+bool IpcChannel::CreatePair(IpcChannel* a, IpcChannel* b) {
+#if HUMO_HAS_FORK
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+  *a = IpcChannel(fds[0]);
+  *b = IpcChannel(fds[1]);
+  return true;
+#else
+  (void)a;
+  (void)b;
+  return false;
+#endif
+}
+
+ForkedWorker& ForkedWorker::operator=(ForkedWorker&& other) noexcept {
+  if (this != &other) {
+    Join();
+    channel_ = std::move(other.channel_);
+    pid_ = other.pid_;
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+int ForkedWorker::Join() {
+#if HUMO_HAS_FORK
+  if (pid_ <= 0) return -1;
+  channel_.Close();  // the child's ReadFrame sees EOF and its loop exits
+  int status = 0;
+  pid_t done;
+  do {
+    done = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+  } while (done < 0 && errno == EINTR);
+  pid_ = -1;
+  if (done < 0) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+  pid_ = -1;
+  return -1;
+#endif
+}
+
+ForkedWorker ForkWorkerProcess(
+    const std::function<void(IpcChannel*)>& serve) {
+#if HUMO_HAS_FORK
+  IpcChannel parent_end, child_end;
+  if (!IpcChannel::CreatePair(&parent_end, &child_end)) return {};
+  const pid_t pid = ::fork();
+  if (pid < 0) return {};
+  if (pid == 0) {
+    parent_end.Close();
+    serve(&child_end);
+    child_end.Close();
+    ::_exit(0);
+  }
+  child_end.Close();
+  return {std::move(parent_end), pid};
+#else
+  (void)serve;
+  return {};
+#endif
+}
+
+bool ForkTransportAvailable() { return HUMO_HAS_FORK != 0; }
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Bytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+uint8_t WireReader::U8() {
+  if (!ok_ || pos_ + 1 > bytes_->size()) {
+    ok_ = false;
+    return 0;
+  }
+  return (*bytes_)[pos_++];
+}
+
+uint64_t WireReader::U64() {
+  if (!ok_ || pos_ + 8 > bytes_->size()) {
+    ok_ = false;
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= uint64_t((*bytes_)[pos_ + b]) << (8 * b);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::F64() {
+  const uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool WireReader::Bytes(void* out, size_t n) {
+  if (!ok_ || pos_ + n > bytes_->size()) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, bytes_->data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+}  // namespace humo

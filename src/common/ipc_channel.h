@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace humo {
+
+/// Length-prefixed frame transport over one end of a Unix socketpair — the
+/// process/pipe seam the sharded resolution layer talks through. A frame is
+/// an opaque byte payload; WriteFrame sends a little-endian u64 length
+/// followed by the bytes, ReadFrame reads exactly one such frame. Both sides
+/// loop on EINTR and handle short reads/writes, so frames of any size
+/// survive the kernel's socket-buffer chunking.
+///
+/// The channel is intentionally dumb: no message types, no threading, no
+/// ownership of what the bytes mean. Request/response protocols (see
+/// core/sharded_resolver.h) are layered on top with the WireWriter /
+/// WireReader helpers below, which keep the serialized-evidence format in
+/// one place.
+class IpcChannel {
+ public:
+  IpcChannel() = default;
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit IpcChannel(int fd) : fd_(fd) {}
+  ~IpcChannel() { Close(); }
+
+  IpcChannel(const IpcChannel&) = delete;
+  IpcChannel& operator=(const IpcChannel&) = delete;
+  IpcChannel(IpcChannel&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  IpcChannel& operator=(IpcChannel&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Sends one frame. False on a write error or a closed peer.
+  bool WriteFrame(const std::vector<uint8_t>& payload);
+
+  /// Receives one frame into `*payload` (resized to the frame length).
+  /// False on EOF (peer closed) or a read error.
+  bool ReadFrame(std::vector<uint8_t>* payload);
+
+  /// Creates a connected bidirectional pair (AF_UNIX SOCK_STREAM). False
+  /// when the socketpair syscall fails.
+  static bool CreatePair(IpcChannel* a, IpcChannel* b);
+
+ private:
+  int fd_ = -1;
+};
+
+/// One forked worker process: the parent-side channel plus the child pid.
+/// Join() closes the channel (the child's serve loop sees EOF and exits)
+/// and reaps the child; the destructor does the same, so a coordinator
+/// that errors out mid-run leaks no zombies.
+class ForkedWorker {
+ public:
+  ForkedWorker() = default;
+  ForkedWorker(IpcChannel channel, int64_t pid)
+      : channel_(std::move(channel)), pid_(pid) {}
+  ~ForkedWorker() { Join(); }
+
+  ForkedWorker(const ForkedWorker&) = delete;
+  ForkedWorker& operator=(const ForkedWorker&) = delete;
+  ForkedWorker(ForkedWorker&& other) noexcept
+      : channel_(std::move(other.channel_)), pid_(other.pid_) {
+    other.pid_ = -1;
+  }
+  ForkedWorker& operator=(ForkedWorker&& other) noexcept;
+
+  bool valid() const { return pid_ > 0; }
+  IpcChannel& channel() { return channel_; }
+
+  /// Closes the channel and waits for the child to exit. Returns the
+  /// child's exit status (0 on clean shutdown; -1 when there is no child
+  /// or waitpid fails).
+  int Join();
+
+ private:
+  IpcChannel channel_;
+  int64_t pid_ = -1;
+};
+
+/// Forks a child that runs `serve(&child_channel)` and then _exit(0)s
+/// (bypassing atexit/stdio so the parent's buffered state is not flushed
+/// twice). The child inherits the parent's memory copy-on-write — the cheap
+/// way to hand a worker its workload slice without serializing it. Returns
+/// an invalid worker when fork is unavailable or fails; callers fall back
+/// to in-process execution.
+///
+/// Fork-safety contract for `serve`: only the forking thread survives in
+/// the child, so the serve loop must never touch the process-global
+/// ThreadPool (its worker threads do not exist in the child) or any lock
+/// another parent thread might have held at fork time. The shard worker
+/// loop is serial by construction.
+ForkedWorker ForkWorkerProcess(
+    const std::function<void(IpcChannel*)>& serve);
+
+/// True when this platform/build supports the fork transport.
+bool ForkTransportAvailable();
+
+/// Append-only little-endian byte serializer for wire payloads.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U64(uint64_t v) {
+    for (int b = 0; b < 8; ++b) bytes_.push_back(uint8_t(v >> (8 * b)));
+  }
+  void F64(double v);
+  void Bytes(const void* data, size_t n);
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Cursor-based reader over a received payload. Out-of-bounds reads set
+/// ok() to false and return zeros instead of touching memory, so a
+/// truncated or corrupt frame degrades into a detectable error, not UB.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+
+  uint8_t U8();
+  uint64_t U64();
+  double F64();
+  /// Copies `n` bytes into `out`; false (and ok()=false) when short.
+  bool Bytes(void* out, size_t n);
+
+  bool ok() const { return ok_; }
+  /// True when every byte was consumed — the frame means what we parsed.
+  bool Exhausted() const { return ok_ && pos_ == bytes_->size(); }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace humo

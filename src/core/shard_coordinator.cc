@@ -1,0 +1,426 @@
+#include "core/shard_coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/ipc_channel.h"
+#include "common/thread_pool.h"
+#include "data/workload_stream.h"
+
+namespace humo::core {
+namespace {
+
+/// The coordinator's view of its worker fleet: one ShardResolver per shard,
+/// reached either directly (in-process) or through a forked worker's frame
+/// channel. Every operation is a request/response ROUND over the involved
+/// shards: in-process the per-shard work fans out on the global pool
+/// (disjoint resolvers, index-addressed outputs); fork mode writes every
+/// request frame before the first response is awaited, so the children
+/// compute concurrently while the parent drains responses. Either way the
+/// results are merged in shard-id order — the deterministic merge the
+/// bit-identity contract needs.
+class ShardFleet {
+ public:
+  ShardFleet(const data::Workload& workload,
+             const std::vector<ShardSpec>& specs, size_t subset_size,
+             double oracle_error_rate, uint64_t oracle_seed,
+             ShardTransport transport)
+      : specs_(specs), batches_(specs.size(), 0) {
+    resolvers_.reserve(specs.size());
+    for (const ShardSpec& spec : specs) {
+      resolvers_.push_back(std::make_unique<ShardResolver>(
+          workload, spec, subset_size, oracle_error_rate, oracle_seed));
+    }
+    transport_ = transport;
+    if (transport_ == ShardTransport::kFork && !ForkTransportAvailable()) {
+      transport_ = ShardTransport::kInProcess;
+    }
+    if (transport_ == ShardTransport::kFork) {
+      // Fork AFTER the resolvers are fully built: each child inherits its
+      // slice, partition, and oracle copy-on-write and serves requests
+      // strictly serially (never touching the parent's thread pool, whose
+      // worker threads do not exist in the child).
+      workers_.reserve(specs.size());
+      for (size_t k = 0; k < specs.size(); ++k) {
+        ShardResolver* resolver = resolvers_[k].get();
+        workers_.push_back(ForkWorkerProcess(
+            [resolver](IpcChannel* channel) {
+              ServeShardWorker(resolver, channel);
+            }));
+        if (!workers_.back().valid()) {
+          // Fork failed (resource limits): degrade the whole fleet to
+          // in-process rather than running a mixed topology.
+          workers_.clear();
+          transport_ = ShardTransport::kInProcess;
+          break;
+        }
+      }
+    }
+  }
+
+  ShardTransport transport() const { return transport_; }
+  bool failed() const { return failed_; }
+  size_t batches(size_t shard) const { return batches_[shard]; }
+
+  /// Owning shard of a global pair index (shard ranges are contiguous and
+  /// cover [0, n)).
+  size_t ShardOf(size_t global_index) const {
+    size_t lo = 0, hi = specs_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (global_index < specs_[mid].end) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  /// Answers one provider batch of distinct fresh GLOBAL indices: split by
+  /// owning shard (preserving first-occurrence order inside each shard),
+  /// answered concurrently, re-assembled in the input order.
+  std::vector<char> Answer(const std::vector<size_t>& global_indices) {
+    const size_t num = specs_.size();
+    std::vector<std::vector<size_t>> local(num);      // local indices
+    std::vector<std::vector<size_t>> positions(num);  // output slots
+    for (size_t t = 0; t < global_indices.size(); ++t) {
+      const size_t g = global_indices[t];
+      const size_t k = ShardOf(g);
+      local[k].push_back(g - specs_[k].begin);
+      positions[k].push_back(t);
+    }
+    std::vector<size_t> involved;
+    for (size_t k = 0; k < num; ++k) {
+      if (!local[k].empty()) involved.push_back(k);
+    }
+    std::vector<std::vector<char>> per_shard(num);
+    Round(
+        involved,
+        [&](size_t k) { per_shard[k] = resolvers_[k]->AnswerBatch(local[k]); },
+        [&](size_t k) { return EncodeAnswerRequest(local[k]); },
+        [&](size_t k, const std::vector<uint8_t>& frame) {
+          if (frame.size() != local[k].size()) return;
+          per_shard[k].resize(frame.size());
+          for (size_t t = 0; t < frame.size(); ++t) {
+            per_shard[k][t] = frame[t] ? 1 : 0;
+          }
+        });
+    std::vector<char> answers(global_indices.size());
+    for (const size_t k : involved) {
+      ++batches_[k];
+      if (per_shard[k].size() != local[k].size()) {
+        // Transport failure: answer from the pure per-pair function so the
+        // provider stays total, and fail the resolve afterwards.
+        failed_ = true;
+        for (size_t t = 0; t < positions[k].size(); ++t) {
+          answers[positions[k][t]] =
+              resolvers_[k]->oracle().InlineAnswer(local[k][t]) ? 1 : 0;
+        }
+        continue;
+      }
+      for (size_t t = 0; t < positions[k].size(); ++t) {
+        answers[positions[k][t]] = per_shard[k][t];
+      }
+    }
+    return answers;
+  }
+
+  /// Per-shard labeling under the global plan, concatenated in shard-id
+  /// order (== global ApplySolution order, since shard ranges partition the
+  /// sorted pair range in order).
+  std::vector<int> Apply(const GlobalLabelingPlan& plan) {
+    const size_t num = specs_.size();
+    std::vector<std::vector<int>> per_shard(num);
+    Round(
+        AllShards(),
+        [&](size_t k) { per_shard[k] = resolvers_[k]->ApplyGlobal(plan); },
+        [&](size_t k) {
+          (void)k;
+          return EncodeApplyRequest(plan);
+        },
+        [&](size_t k, const std::vector<uint8_t>& frame) {
+          if (frame.size() != specs_[k].num_pairs()) return;
+          per_shard[k].resize(frame.size());
+          for (size_t t = 0; t < frame.size(); ++t) {
+            per_shard[k][t] = frame[t] ? 1 : 0;
+          }
+        });
+    std::vector<int> labels;
+    labels.reserve(specs_.back().end);
+    for (size_t k = 0; k < num; ++k) {
+      if (per_shard[k].size() != specs_[k].num_pairs()) failed_ = true;
+      labels.insert(labels.end(), per_shard[k].begin(), per_shard[k].end());
+    }
+    return labels;
+  }
+
+  /// Collects every shard's evidence, in shard-id order.
+  std::vector<ShardEvidence> Evidence() {
+    std::vector<ShardEvidence> evidence(specs_.size());
+    std::vector<char> got(specs_.size(), 0);
+    Round(
+        AllShards(),
+        [&](size_t k) {
+          evidence[k] = resolvers_[k]->Evidence();
+          got[k] = 1;
+        },
+        [&](size_t k) {
+          (void)k;
+          return EncodeEvidenceRequest();
+        },
+        [&](size_t k, const std::vector<uint8_t>& frame) {
+          got[k] = DecodeEvidence(frame, &evidence[k]) ? 1 : 0;
+        });
+    for (size_t k = 0; k < specs_.size(); ++k) {
+      if (!got[k]) failed_ = true;
+    }
+    return evidence;
+  }
+
+  /// Clean worker shutdown (fork mode; no-op in-process). Join() in the
+  /// ForkedWorker destructor covers error paths.
+  void Shutdown() {
+    for (ForkedWorker& worker : workers_) {
+      if (!worker.valid()) continue;
+      std::vector<uint8_t> ack;
+      if (worker.channel().WriteFrame(EncodeShutdownRequest())) {
+        worker.channel().ReadFrame(&ack);
+      }
+      if (worker.Join() != 0) failed_ = true;
+    }
+    workers_.clear();
+  }
+
+ private:
+  std::vector<size_t> AllShards() const {
+    std::vector<size_t> all(specs_.size());
+    for (size_t k = 0; k < all.size(); ++k) all[k] = k;
+    return all;
+  }
+
+  /// One request/response round over `involved` shards. In-process:
+  /// `inprocess(k)` fans out on the global pool. Fork: `encode(k)` frames
+  /// are ALL written before the first response is read, then responses are
+  /// drained in shard-id order into `decode(k, frame)` — the children
+  /// overlap their work while the parent collects. Transport failures mark
+  /// the fleet failed; decode is skipped for shards whose round-trip broke.
+  void Round(const std::vector<size_t>& involved,
+             const std::function<void(size_t)>& inprocess,
+             const std::function<std::vector<uint8_t>(size_t)>& encode,
+             const std::function<void(size_t, const std::vector<uint8_t>&)>&
+                 decode) {
+    if (transport_ == ShardTransport::kInProcess) {
+      ThreadPool::Global()->ParallelFor(
+          involved.size(), 1, [&](size_t chunk_begin, size_t chunk_end) {
+            for (size_t t = chunk_begin; t < chunk_end; ++t) {
+              inprocess(involved[t]);
+            }
+          });
+      return;
+    }
+    std::vector<char> sent(specs_.size(), 0);
+    for (const size_t k : involved) {
+      sent[k] = workers_[k].channel().WriteFrame(encode(k)) ? 1 : 0;
+      if (!sent[k]) failed_ = true;
+    }
+    for (const size_t k : involved) {
+      if (!sent[k]) continue;
+      std::vector<uint8_t> frame;
+      if (!workers_[k].channel().ReadFrame(&frame)) {
+        failed_ = true;
+        continue;
+      }
+      decode(k, frame);
+    }
+  }
+
+  std::vector<ShardSpec> specs_;
+  std::vector<std::unique_ptr<ShardResolver>> resolvers_;
+  std::vector<ForkedWorker> workers_;
+  ShardTransport transport_ = ShardTransport::kInProcess;
+  std::vector<size_t> batches_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(ShardedOptions options,
+                                   QualityRequirement req)
+    : options_(std::move(options)), req_(req) {}
+
+std::vector<ShardSpec> ShardCoordinator::PlanShards(size_t num_pairs,
+                                                    size_t subset_size,
+                                                    size_t num_shards) {
+  assert(subset_size > 0);
+  std::vector<ShardSpec> specs;
+  if (num_pairs == 0) return specs;
+  // Global subset count: the partition's own arithmetic (the final subset
+  // absorbs the remainder; fewer pairs than one subset is one subset).
+  const size_t m = std::max<size_t>(1, num_pairs / subset_size);
+  const size_t k_shards = std::max<size_t>(1, std::min(num_shards, m));
+  specs.reserve(k_shards);
+  for (size_t i = 0; i < k_shards; ++i) {
+    ShardSpec spec;
+    spec.shard = i;
+    spec.subset_begin = m * i / k_shards;
+    spec.subset_end = m * (i + 1) / k_shards;
+    spec.begin = spec.subset_begin * subset_size;
+    spec.end =
+        spec.subset_end == m ? num_pairs : spec.subset_end * subset_size;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+Result<ShardedCertificate> ShardCoordinator::Resolve(
+    const data::Workload& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("sharded resolve of an empty workload");
+  }
+  const size_t subset_size = options_.streaming.subset_size;
+  const std::vector<ShardSpec> specs =
+      PlanShards(workload.size(), subset_size, options_.num_shards);
+  assert(!specs.empty());
+
+  // Proportional budget split across shards (one stratum per shard). With
+  // the unlimited default the budget equals the population, so every
+  // shard's allocation is exactly its pair count — settlement below is a
+  // no-op and nothing about the run depends on the budget machinery.
+  std::vector<stats::Stratum> shard_strata(specs.size());
+  for (size_t k = 0; k < specs.size(); ++k) {
+    shard_strata[k].population = specs[k].num_pairs();
+  }
+  const size_t budget =
+      options_.oracle_budget == 0 ? workload.size() : options_.oracle_budget;
+  const std::vector<size_t> allocations =
+      stats::AllocateSamples(shard_strata, budget);
+
+  ShardFleet fleet(workload, specs, subset_size,
+                   options_.streaming.oracle_error_rate,
+                   options_.streaming.oracle_seed, options_.transport);
+
+  // The UNCHANGED certification machinery over the global workload, with
+  // every fresh oracle inspection routed to the owning shard. This is what
+  // makes the sharded result bit-identical to the one-shot run: the
+  // decision path (RNG draws, GP fits, bound search) is literally the
+  // one-shot code, and the shards return the answers the one-shot oracle
+  // would have produced (see Oracle index_offset).
+  StreamingResolver resolver(options_.streaming, req_);
+  resolver.Ingest(data::Shard{0, workload.MaterializePairs()});
+  resolver.SetOracleAnswerProvider(
+      [&fleet](const std::vector<size_t>& fresh) {
+        return fleet.Answer(fresh);
+      });
+  Result<StreamingCertificate> cert = resolver.Certify();
+  if (!cert.ok()) {
+    fleet.Shutdown();
+    return cert.status();
+  }
+
+  ShardedCertificate out;
+  out.certificate = *cert;
+  out.transport = fleet.transport();
+
+  // Global labeling plan (the geometry of core::ApplySolution), shipped to
+  // every shard; the concatenated shard labelings must reproduce the
+  // certificate's labeling bit for bit.
+  GlobalLabelingPlan plan;
+  const SubsetPartition& partition = resolver.partition();
+  const HumoSolution& sol = cert->solution;
+  plan.has_human = !sol.empty && partition.num_subsets() > 0;
+  if (plan.has_human) {
+    plan.dh_begin = partition[sol.h_lo].begin;
+    plan.dh_end = partition[sol.h_hi].end;
+    plan.match_from = plan.dh_end;
+  } else {
+    plan.match_from =
+        partition.num_subsets() == 0
+            ? 0
+            : partition[std::min(sol.h_lo, partition.num_subsets() - 1)]
+                  .begin;
+  }
+  const std::vector<int> sharded_labels = fleet.Apply(plan);
+  out.labels_consistent =
+      sharded_labels == cert->resolution.labels && !fleet.failed();
+
+  // Merge per-shard evidence in shard-id order: strata concatenate onto
+  // the global subset axis, posteriors and costs aggregate.
+  std::vector<ShardEvidence> evidence = fleet.Evidence();
+  out.shards.reserve(specs.size());
+  out.merged_strata.reserve(partition.num_subsets());
+  std::vector<size_t> demands(specs.size(), 0);
+  for (size_t k = 0; k < specs.size(); ++k) {
+    ShardReport report;
+    report.spec = specs[k];
+    report.budget_allocated = allocations[k];
+    report.answered = evidence[k].cost;
+    report.batches = fleet.batches(k);
+    demands[k] = evidence[k].cost;
+    out.merged_cost += evidence[k].cost;
+    out.posterior_alpha += evidence[k].posterior_alpha - 1.0;
+    out.posterior_beta += evidence[k].posterior_beta - 1.0;
+    out.merged_strata.insert(out.merged_strata.end(),
+                             evidence[k].strata.begin(),
+                             evidence[k].strata.end());
+    report.evidence = std::move(evidence[k]);
+    out.shards.push_back(std::move(report));
+  }
+
+  // Budget settlement: under-spent shard allocations fund over-demand
+  // shards; only global exhaustion fails the resolve (below).
+  const std::vector<size_t> grants =
+      stats::ReallocateUnspent(allocations, demands);
+  size_t total_demand = 0;
+  size_t total_granted = 0;
+  for (size_t k = 0; k < specs.size(); ++k) {
+    out.shards[k].budget_granted = grants[k];
+    total_demand += demands[k];
+    total_granted += grants[k];
+  }
+
+  // Cross-check the shard-merged evidence against the coordinator's own
+  // oracle state: every global subset's answered-pair stratum and the
+  // total distinct-inspection cost must agree exactly.
+  out.evidence_consistent =
+      !fleet.failed() &&
+      out.merged_strata.size() == partition.num_subsets() &&
+      out.merged_cost == cert->total_inspections;
+  if (out.evidence_consistent) {
+    const Oracle& oracle = resolver.oracle();
+    for (size_t k = 0; k < partition.num_subsets(); ++k) {
+      const Subset& s = partition[k];
+      stats::Stratum global_view;
+      global_view.population = s.size();
+      for (size_t i = s.begin; i < s.end; ++i) {
+        if (!oracle.WasAsked(i)) continue;
+        ++global_view.sample_size;
+        global_view.sample_positives += oracle.CachedAnswer(i) ? 1 : 0;
+      }
+      const stats::Stratum& merged = out.merged_strata[k];
+      if (merged.population != global_view.population ||
+          merged.sample_size != global_view.sample_size ||
+          merged.sample_positives != global_view.sample_positives) {
+        out.evidence_consistent = false;
+        break;
+      }
+    }
+  }
+
+  fleet.Shutdown();
+  if (fleet.failed()) {
+    return Status::Internal("shard worker transport failed");
+  }
+  if (options_.oracle_budget != 0 && total_demand > total_granted) {
+    return Status::OutOfRange(
+        "oracle budget exhausted: sharded certification needed " +
+        std::to_string(total_demand) + " inspections, budget " +
+        std::to_string(options_.oracle_budget));
+  }
+  return out;
+}
+
+}  // namespace humo::core

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sharded_resolver.h"
+#include "core/streaming_resolver.h"
+#include "data/workload.h"
+#include "stats/stratified.h"
+
+namespace humo::core {
+
+/// How the coordinator reaches its shard workers.
+enum class ShardTransport {
+  /// ShardResolver objects in this process; batches are dispatched across
+  /// shards on the global ThreadPool (deterministic: disjoint per-shard
+  /// state, responses merged in shard-id order). The fallback when fork is
+  /// unavailable, and the mode the TSan suites exercise.
+  kInProcess,
+  /// One forked worker process per shard, talking length-prefixed frames
+  /// over a socketpair (common/ipc_channel.h). The workload slice reaches
+  /// the child copy-on-write at fork time — nothing is serialized. Falls
+  /// back to kInProcess when fork is unavailable on the platform.
+  kFork,
+};
+
+struct ShardedOptions {
+  /// Worker shards to partition the computation into. Clamped to the
+  /// number of subsets (a shard must own at least one whole subset).
+  size_t num_shards = 4;
+  ShardTransport transport = ShardTransport::kInProcess;
+  /// The certification configuration, shared verbatim with the one-shot
+  /// StreamingResolver run the bit-identity contract compares against
+  /// (certifier, sampling seed, subset size, oracle error model).
+  StreamingOptions streaming;
+  /// Total oracle budget (distinct fresh inspections) split across shards
+  /// via stats::AllocateSamples proportionally to shard populations.
+  /// 0 = unlimited: every shard's allocation equals its population and
+  /// budget settlement is a no-op — the default, and the mode the
+  /// bit-identity contract is stated in. A finite budget never changes any
+  /// answer or the certification path; it is settled AFTER the run
+  /// (ReallocateUnspent moves unspent shard allocations to over-demand
+  /// shards) and the resolve fails with an OutOfRange error when total
+  /// demand exceeds it.
+  size_t oracle_budget = 0;
+};
+
+/// Per-shard accounting of one sharded resolution.
+struct ShardReport {
+  ShardSpec spec;
+  /// Proportional budget share from stats::AllocateSamples.
+  size_t budget_allocated = 0;
+  /// Final grant after ReallocateUnspent settled under-spent allocations
+  /// against demands (== demand when the global budget sufficed).
+  size_t budget_granted = 0;
+  /// Distinct fresh inspections this shard answered (its demand).
+  size_t answered = 0;
+  /// Answer batches routed to this shard.
+  size_t batches = 0;
+  /// Evidence returned by the worker (strata in local subset order).
+  ShardEvidence evidence;
+};
+
+/// Result of ShardCoordinator::Resolve: the global certificate plus the
+/// merged per-shard evidence and the consistency checks that prove the
+/// merge reproduced the one-shot state.
+struct ShardedCertificate {
+  /// The global alpha/beta/theta certificate over the merged evidence —
+  /// bit-identical (solution, labels, costs) to the one-shot
+  /// StreamingResolver::Certify() on the same workload and options.
+  StreamingCertificate certificate;
+  std::vector<ShardReport> shards;
+
+  /// Per-global-subset evidence merged from the shards in shard-id order.
+  std::vector<stats::Stratum> merged_strata;
+  /// Beta posterior over all merged evidence (1 + positives,
+  /// 1 + negatives), the aggregate the per-shard posteriors combine into.
+  double posterior_alpha = 1.0;
+  double posterior_beta = 1.0;
+
+  /// Sum of per-shard distinct inspections — the sharded run's total
+  /// oracle cost. Equals certificate.total_inspections when
+  /// evidence_consistent.
+  size_t merged_cost = 0;
+
+  /// True when the shard-merged evidence matches the coordinator's global
+  /// oracle state exactly: every stratum's population/sample/positive
+  /// counts, and merged_cost == the certificate's total inspections.
+  bool evidence_consistent = false;
+  /// True when the concatenation of per-shard ApplyGlobal labelings (in
+  /// shard-id order) is bit-identical to the certificate's labeling.
+  bool labels_consistent = false;
+  /// Transport that actually ran (kFork degrades to kInProcess when the
+  /// platform has no fork).
+  ShardTransport transport = ShardTransport::kInProcess;
+};
+
+/// Budget-allocating coordinator for sharded multi-process resolution.
+///
+/// Partitions a sorted workload into K contiguous computation shards whose
+/// boundaries coincide with subset boundaries (a subset never straddles
+/// shards), stands up one ShardResolver per shard — forked worker
+/// processes, or in-process objects dispatched on the thread pool — and
+/// runs the UNCHANGED certification machinery over the global workload
+/// with the oracle in AnswerProvider mode: every batch of fresh
+/// inspections is split by owning shard, answered by the shards
+/// concurrently, and re-assembled in deterministic shard-id order. Because
+/// a shard's answers are a pure function of the global pair index (see
+/// Oracle index_offset) and the decision path is literally the one-shot
+/// code consuming identical answers, the merged solution, labeling, and
+/// total oracle cost are bit-identical to the one-shot StreamingResolver
+/// run — the contract the golden tests and bench_sharded pin at
+/// K in {1, 2, 4, 8}.
+///
+/// The oracle budget is split across shards up front with
+/// stats::AllocateSamples (proportional to shard populations) and settled
+/// after certification with stats::ReallocateUnspent, so an under-spending
+/// shard funds an over-demanding one; only global exhaustion fails the
+/// run. After certification the coordinator collects each shard's
+/// estimation evidence (per-subset strata, Beta posteriors, cost
+/// counters), merges it in shard-id order, and cross-checks the merge
+/// against its own oracle state — the certificate reports both
+/// consistency verdicts.
+class ShardCoordinator {
+ public:
+  ShardCoordinator(ShardedOptions options, QualityRequirement req);
+
+  /// Plans shard boundaries for `num_pairs` pairs under `subset_size` and
+  /// `num_shards`: subsets are split into K contiguous runs of near-equal
+  /// subset counts ((m * i) / K boundaries), and shard pair ranges inherit
+  /// the subset boundaries. Exposed for tests; deterministic.
+  static std::vector<ShardSpec> PlanShards(size_t num_pairs,
+                                           size_t subset_size,
+                                           size_t num_shards);
+
+  /// Runs the full sharded resolution over `workload` (must be sorted by
+  /// similarity, the invariant every Workload constructor establishes).
+  /// Fails on an empty workload, when the underlying certifier fails, or
+  /// when a finite oracle_budget is exhausted.
+  Result<ShardedCertificate> Resolve(const data::Workload& workload);
+
+  const ShardedOptions& options() const { return options_; }
+  const QualityRequirement& requirement() const { return req_; }
+
+ private:
+  ShardedOptions options_;
+  QualityRequirement req_;
+};
+
+}  // namespace humo::core

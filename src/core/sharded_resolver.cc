@@ -1,0 +1,260 @@
+#include "core/sharded_resolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace humo::core {
+namespace {
+
+/// Copies the global rows [begin, end) into a fresh RAM-backed workload.
+/// Column-wise, so mmap-backed global workloads slice without an AoS
+/// materialization of the whole thing.
+data::Workload SliceWorkload(const data::Workload& global, size_t begin,
+                             size_t end) {
+  assert(begin <= end && end <= global.size());
+  const size_t n = end - begin;
+  std::vector<uint32_t> left(global.left_id_data() + begin,
+                             global.left_id_data() + end);
+  std::vector<uint32_t> right(global.right_id_data() + begin,
+                              global.right_id_data() + end);
+  std::vector<double> sims(global.similarity_data() + begin,
+                           global.similarity_data() + end);
+  std::vector<uint8_t> labels(global.label_data() + begin,
+                              global.label_data() + end);
+  (void)n;
+  // FromColumns sorts, which is a no-op permutation here: the slice of a
+  // sorted workload is sorted, and PairLess is a total order on it.
+  return data::Workload::FromColumns(std::move(left), std::move(right),
+                                     std::move(sims), std::move(labels));
+}
+
+}  // namespace
+
+ShardResolver::ShardResolver(const data::Workload& global,
+                             const ShardSpec& spec, size_t subset_size,
+                             double oracle_error_rate, uint64_t oracle_seed)
+    : spec_(spec),
+      local_(SliceWorkload(global, spec.begin, spec.end)),
+      partition_(&local_, subset_size),
+      oracle_(&local_, oracle_error_rate, oracle_seed,
+              /*index_offset=*/spec.begin),
+      ctx_(&partition_, &oracle_) {
+  assert(partition_.num_subsets() == spec_.num_subsets());
+}
+
+std::vector<char> ShardResolver::AnswerBatch(
+    const std::vector<size_t>& local_indices) {
+  // Route the batch through the estimation engine one subset at a time (in
+  // ascending subset order — deterministic regardless of how the indices
+  // interleave), so the per-subset evidence strata refresh as a side
+  // effect; then serve the answers in input order from oracle memory.
+  std::vector<std::pair<size_t, size_t>> by_subset;  // (subset, index)
+  by_subset.reserve(local_indices.size());
+  for (const size_t i : local_indices) {
+    assert(i < local_.size());
+    by_subset.emplace_back(partition_.SubsetOf(i), i);
+  }
+  std::stable_sort(by_subset.begin(), by_subset.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<size_t> subset_batch;
+  for (size_t t = 0; t < by_subset.size();) {
+    const size_t k = by_subset[t].first;
+    subset_batch.clear();
+    for (; t < by_subset.size() && by_subset[t].first == k; ++t) {
+      subset_batch.push_back(by_subset[t].second);
+    }
+    ctx_.InspectSubsetPairs(k, subset_batch);
+  }
+  std::vector<char> answers(local_indices.size());
+  for (size_t t = 0; t < local_indices.size(); ++t) {
+    answers[t] = oracle_.CachedAnswer(local_indices[t]) ? 1 : 0;
+  }
+  return answers;
+}
+
+std::vector<int> ShardResolver::ApplyGlobal(const GlobalLabelingPlan& plan) {
+  const size_t n = local_.size();
+  std::vector<int> labels(n, 0);
+  // Mirror of core::ApplySolution restricted to [spec_.begin, spec_.end):
+  // the same three-way split by GLOBAL pair index, with DH answers served
+  // by the shard oracle (identical to the global oracle's by the
+  // index_offset construction).
+  const size_t dh_lo = plan.has_human
+                           ? std::max(plan.dh_begin, spec_.begin)
+                           : spec_.begin;
+  const size_t dh_hi =
+      plan.has_human ? std::min(plan.dh_end, spec_.end) : spec_.begin;
+  if (dh_lo < dh_hi) {
+    std::vector<size_t> fresh;
+    for (size_t g = dh_lo; g < dh_hi; ++g) {
+      const size_t i = g - spec_.begin;
+      if (oracle_.WasAsked(i)) {
+        labels[i] = oracle_.CachedAnswer(i) ? 1 : 0;
+      } else {
+        fresh.push_back(i);
+      }
+    }
+    const std::vector<char> answers = AnswerBatch(fresh);
+    for (size_t t = 0; t < fresh.size(); ++t) {
+      labels[fresh[t]] = answers[t] ? 1 : 0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t g = i + spec_.begin;
+    if (plan.has_human && g >= plan.dh_begin && g < plan.dh_end) continue;
+    labels[i] = g >= plan.match_from ? 1 : 0;
+  }
+  return labels;
+}
+
+ShardEvidence ShardResolver::Evidence() const {
+  ShardEvidence ev;
+  ev.shard = spec_.shard;
+  ev.cost = oracle_.cost();
+  ev.total_requests = oracle_.total_requests();
+  ev.duplicate_requests = oracle_.duplicate_requests();
+  ev.strata.reserve(partition_.num_subsets());
+  const SubsetStatsCache& cache = ctx_.cache();
+  for (size_t k = 0; k < partition_.num_subsets(); ++k) {
+    const Subset& s = partition_[k];
+    stats::Stratum st;
+    st.population = s.size();
+    if (cache.HasStratum(k)) {
+      st = cache.StratumAt(k);
+    } else if (cache.HasFullCount(k)) {
+      st.sample_size = s.size();
+      st.sample_positives = cache.FullCount(k);
+    }
+    ev.posterior_alpha += static_cast<double>(st.sample_positives);
+    ev.posterior_beta +=
+        static_cast<double>(st.sample_size - st.sample_positives);
+    ev.strata.push_back(st);
+  }
+  return ev;
+}
+
+std::vector<uint8_t> EncodeAnswerRequest(
+    const std::vector<size_t>& indices) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(ShardRequest::kAnswer));
+  w.U64(indices.size());
+  for (const size_t i : indices) w.U64(i);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeApplyRequest(const GlobalLabelingPlan& plan) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(ShardRequest::kApply));
+  w.U8(plan.has_human ? 1 : 0);
+  w.U64(plan.dh_begin);
+  w.U64(plan.dh_end);
+  w.U64(plan.match_from);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeEvidenceRequest() {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(ShardRequest::kEvidence));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeShutdownRequest() {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(ShardRequest::kShutdown));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeEvidence(const ShardEvidence& evidence) {
+  WireWriter w;
+  w.U64(evidence.shard);
+  w.U64(evidence.cost);
+  w.U64(evidence.total_requests);
+  w.U64(evidence.duplicate_requests);
+  w.F64(evidence.posterior_alpha);
+  w.F64(evidence.posterior_beta);
+  w.U64(evidence.strata.size());
+  for (const stats::Stratum& st : evidence.strata) {
+    w.U64(st.population);
+    w.U64(st.sample_size);
+    w.U64(st.sample_positives);
+  }
+  return w.Take();
+}
+
+bool DecodeEvidence(const std::vector<uint8_t>& payload,
+                    ShardEvidence* evidence) {
+  WireReader r(payload);
+  evidence->shard = r.U64();
+  evidence->cost = r.U64();
+  evidence->total_requests = r.U64();
+  evidence->duplicate_requests = r.U64();
+  evidence->posterior_alpha = r.F64();
+  evidence->posterior_beta = r.F64();
+  const uint64_t m = r.U64();
+  if (!r.ok()) return false;
+  evidence->strata.clear();
+  evidence->strata.reserve(m);
+  for (uint64_t k = 0; k < m; ++k) {
+    stats::Stratum st;
+    st.population = r.U64();
+    st.sample_size = r.U64();
+    st.sample_positives = r.U64();
+    if (!r.ok()) return false;
+    evidence->strata.push_back(st);
+  }
+  return r.Exhausted();
+}
+
+void ServeShardWorker(ShardResolver* resolver, IpcChannel* channel) {
+  std::vector<uint8_t> request;
+  while (channel->ReadFrame(&request)) {
+    WireReader r(request);
+    const auto tag = static_cast<ShardRequest>(r.U8());
+    if (!r.ok()) return;
+    switch (tag) {
+      case ShardRequest::kAnswer: {
+        const uint64_t count = r.U64();
+        std::vector<size_t> indices;
+        indices.reserve(count);
+        for (uint64_t t = 0; t < count; ++t) {
+          indices.push_back(static_cast<size_t>(r.U64()));
+        }
+        if (!r.Exhausted()) return;
+        const std::vector<char> answers = resolver->AnswerBatch(indices);
+        WireWriter w;
+        for (const char a : answers) w.U8(a ? 1 : 0);
+        if (!channel->WriteFrame(w.Take())) return;
+        break;
+      }
+      case ShardRequest::kApply: {
+        GlobalLabelingPlan plan;
+        plan.has_human = r.U8() != 0;
+        plan.dh_begin = static_cast<size_t>(r.U64());
+        plan.dh_end = static_cast<size_t>(r.U64());
+        plan.match_from = static_cast<size_t>(r.U64());
+        if (!r.Exhausted()) return;
+        const std::vector<int> labels = resolver->ApplyGlobal(plan);
+        WireWriter w;
+        for (const int label : labels) w.U8(label ? 1 : 0);
+        if (!channel->WriteFrame(w.Take())) return;
+        break;
+      }
+      case ShardRequest::kEvidence: {
+        if (!r.Exhausted()) return;
+        if (!channel->WriteFrame(EncodeEvidence(resolver->Evidence()))) {
+          return;
+        }
+        break;
+      }
+      case ShardRequest::kShutdown:
+        channel->WriteFrame({});
+        return;
+      default:
+        return;  // malformed request: drop the connection
+    }
+  }
+}
+
+}  // namespace humo::core

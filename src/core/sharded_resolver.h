@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ipc_channel.h"
+#include "core/estimation_engine.h"
+#include "core/oracle.h"
+#include "core/partition.h"
+#include "data/workload.h"
+#include "stats/stratified.h"
+
+namespace humo::core {
+
+/// One computation shard of a sorted workload: the contiguous GLOBAL pair
+/// range [begin, end) and the global subset range [subset_begin,
+/// subset_end) it covers. Shard boundaries always coincide with subset
+/// boundaries (ShardCoordinator plans them that way), which is what makes a
+/// shard-local SubsetPartition reproduce the global subsets restricted to
+/// the shard — same [begin, end) geometry, bitwise-identical
+/// avg_similarity, because the per-subset similarity sums add the same
+/// values in the same order.
+struct ShardSpec {
+  size_t shard = 0;
+  size_t begin = 0;         ///< first global pair index
+  size_t end = 0;           ///< one past the last global pair index
+  size_t subset_begin = 0;  ///< first global subset index
+  size_t subset_end = 0;    ///< one past the last global subset index
+
+  size_t num_pairs() const { return end - begin; }
+  size_t num_subsets() const { return subset_end - subset_begin; }
+};
+
+/// The global labeling geometry a worker needs to label its slice exactly
+/// the way core::ApplySolution labels the full workload: everything in
+/// GLOBAL pair indices. Mirrors the header computation of ApplySolution —
+/// pairs in [dh_begin, dh_end) take the oracle's answer, pairs at or after
+/// match_from are machine-matched, the rest machine-unmatched.
+struct GlobalLabelingPlan {
+  bool has_human = false;
+  size_t dh_begin = 0;
+  size_t dh_end = 0;
+  size_t match_from = 0;
+};
+
+/// Per-shard estimation evidence, merged by the coordinator in shard-id
+/// order: one stats::Stratum per LOCAL subset (global subset subset_begin +
+/// j) summarizing every oracle answer the shard holds, plus the shard's
+/// oracle cost accounting and the Beta-posterior counts (1 + positives,
+/// 1 + negatives over the sampled evidence) the merge aggregates.
+struct ShardEvidence {
+  size_t shard = 0;
+  std::vector<stats::Stratum> strata;
+  size_t cost = 0;             ///< distinct pairs freshly inspected here
+  size_t total_requests = 0;   ///< every index routed to this shard
+  size_t duplicate_requests = 0;
+  /// Beta(1,1)-prior posterior over the shard's answered pairs.
+  double posterior_alpha = 1.0;
+  double posterior_beta = 1.0;
+};
+
+/// The per-shard resolution engine: a self-contained (workload slice,
+/// partition, oracle, estimation context) quadruple that answers oracle
+/// batches for its similarity range, accumulates subset-level evidence
+/// through the estimation engine, and labels its slice under a global
+/// solution. One instance runs per shard — in-process, or inside a forked
+/// worker process serving the wire protocol below (every operation is
+/// serial and touches no process-global state, so it is fork- and
+/// thread-safe by construction; distinct shards share nothing mutable).
+///
+/// The oracle is constructed with index_offset = spec.begin, so the
+/// simulated human's error flips hash the GLOBAL pair index: a shard
+/// answers exactly what the one-shot oracle would answer for the same pair,
+/// which is the keystone of the coordinator's bit-identity contract.
+class ShardResolver {
+ public:
+  /// Copies rows [spec.begin, spec.end) of `global` into a local slice.
+  /// `global` does not need to outlive the resolver.
+  ShardResolver(const data::Workload& global, const ShardSpec& spec,
+                size_t subset_size, double oracle_error_rate,
+                uint64_t oracle_seed);
+
+  ShardResolver(const ShardResolver&) = delete;
+  ShardResolver& operator=(const ShardResolver&) = delete;
+
+  const ShardSpec& spec() const { return spec_; }
+  const data::Workload& slice() const { return local_; }
+  const SubsetPartition& partition() const { return partition_; }
+  const Oracle& oracle() const { return oracle_; }
+  const EstimationContext& context() const { return ctx_; }
+
+  /// Answers one batch of LOCAL pair indices, recording fresh answers in
+  /// the shard oracle (distinct-pair cost accounting) and refreshing the
+  /// per-subset evidence strata through the estimation engine. Returns one
+  /// answer per input index, parallel to the input.
+  std::vector<char> AnswerBatch(const std::vector<size_t>& local_indices);
+
+  /// Labels every pair of the slice under the global plan; answers for DH
+  /// pairs come from the shard oracle (already-held answers are free,
+  /// unseen DH pairs are freshly inspected). Returned labels are in local
+  /// order; concatenating shards in id order reproduces the global
+  /// ApplySolution labeling bit for bit.
+  std::vector<int> ApplyGlobal(const GlobalLabelingPlan& plan);
+
+  /// Snapshot of the shard's evidence for the coordinator's merge.
+  ShardEvidence Evidence() const;
+
+ private:
+  ShardSpec spec_;
+  data::Workload local_;
+  SubsetPartition partition_;
+  Oracle oracle_;
+  EstimationContext ctx_;
+};
+
+/// Wire protocol of a forked shard worker. Requests are one frame each:
+/// a u8 tag followed by the tag-specific payload; responses are one frame.
+/// Codec helpers are shared by the coordinator and the worker loop so the
+/// two sides cannot drift.
+enum class ShardRequest : uint8_t {
+  kAnswer = 1,    ///< u64 count, count x u64 local index -> count x u8
+  kApply = 2,     ///< plan (u8 has_human, 3 x u64)       -> num_pairs x u8
+  kEvidence = 3,  ///< (empty)                            -> ShardEvidence
+  kShutdown = 4,  ///< (empty)                            -> (empty), exit
+};
+
+std::vector<uint8_t> EncodeAnswerRequest(const std::vector<size_t>& indices);
+std::vector<uint8_t> EncodeApplyRequest(const GlobalLabelingPlan& plan);
+std::vector<uint8_t> EncodeEvidenceRequest();
+std::vector<uint8_t> EncodeShutdownRequest();
+std::vector<uint8_t> EncodeEvidence(const ShardEvidence& evidence);
+/// False when the payload is truncated or malformed.
+bool DecodeEvidence(const std::vector<uint8_t>& payload,
+                    ShardEvidence* evidence);
+
+/// Serves requests over `channel` against `resolver` until a kShutdown
+/// frame, a closed peer, or a malformed request. The forked child's entire
+/// life: strictly serial, no ThreadPool, no stdio.
+void ServeShardWorker(ShardResolver* resolver, IpcChannel* channel);
+
+}  // namespace humo::core

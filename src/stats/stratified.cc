@@ -123,4 +123,23 @@ std::vector<size_t> AllocateSamples(const std::vector<Stratum>& strata,
   return alloc;
 }
 
+std::vector<size_t> ReallocateUnspent(const std::vector<size_t>& allocation,
+                                      const std::vector<size_t>& demand) {
+  assert(allocation.size() == demand.size());
+  const size_t m = allocation.size();
+  std::vector<size_t> grant(m, 0);
+  size_t pool = 0;
+  for (size_t i = 0; i < m; ++i) {
+    grant[i] = std::min(allocation[i], demand[i]);
+    pool += allocation[i] - grant[i];
+  }
+  for (size_t i = 0; i < m && pool > 0; ++i) {
+    const size_t deficit = demand[i] - grant[i];
+    const size_t extra = std::min(deficit, pool);
+    grant[i] += extra;
+    pool -= extra;
+  }
+  return grant;
+}
+
 }  // namespace humo::stats

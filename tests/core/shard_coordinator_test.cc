@@ -1,0 +1,385 @@
+#include "core/shard_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/sharded_resolver.h"
+#include "core/streaming_resolver.h"
+#include "data/pair_simulator.h"
+#include "data/workload.h"
+
+namespace humo::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PlanShards: boundary arithmetic.
+// ---------------------------------------------------------------------------
+
+void CheckPlanInvariants(const std::vector<ShardSpec>& specs,
+                         size_t num_pairs, size_t subset_size) {
+  ASSERT_FALSE(specs.empty());
+  // Shards tile [0, num_pairs) in order, every boundary (except the final
+  // end) on a subset multiple, every shard non-empty with at least one
+  // whole subset.
+  EXPECT_EQ(specs.front().begin, 0u);
+  EXPECT_EQ(specs.back().end, num_pairs);
+  for (size_t k = 0; k < specs.size(); ++k) {
+    const ShardSpec& s = specs[k];
+    EXPECT_EQ(s.shard, k);
+    EXPECT_GT(s.num_subsets(), 0u);
+    EXPECT_GT(s.num_pairs(), 0u);
+    EXPECT_EQ(s.begin, s.subset_begin * subset_size);
+    if (k + 1 < specs.size()) {
+      EXPECT_EQ(s.end, s.subset_end * subset_size);
+      EXPECT_EQ(specs[k + 1].begin, s.end);
+      EXPECT_EQ(specs[k + 1].subset_begin, s.subset_end);
+    }
+  }
+}
+
+TEST(PlanShardsTest, EvenSplitTilesTheWorkload) {
+  const auto specs = ShardCoordinator::PlanShards(4000, 200, 4);
+  ASSERT_EQ(specs.size(), 4u);
+  CheckPlanInvariants(specs, 4000, 200);
+  for (const ShardSpec& s : specs) EXPECT_EQ(s.num_subsets(), 5u);
+}
+
+TEST(PlanShardsTest, RemainderStaysInFinalSubsetOfFinalShard) {
+  // 4199 pairs, subset 200: 20 subsets, the last holding 399 pairs. The
+  // final shard's pair range must absorb the remainder (its end is
+  // num_pairs, not a subset multiple).
+  const auto specs = ShardCoordinator::PlanShards(4199, 200, 4);
+  ASSERT_EQ(specs.size(), 4u);
+  CheckPlanInvariants(specs, 4199, 200);
+  EXPECT_EQ(specs.back().end, 4199u);
+  EXPECT_EQ(specs.back().subset_end, 20u);
+}
+
+TEST(PlanShardsTest, ShardCountClampsToSubsetCount) {
+  // 3 subsets cannot feed 8 shards: a shard owns at least one whole subset.
+  const auto specs = ShardCoordinator::PlanShards(600, 200, 8);
+  ASSERT_EQ(specs.size(), 3u);
+  CheckPlanInvariants(specs, 600, 200);
+}
+
+TEST(PlanShardsTest, TinyWorkloadIsOneShardOneSubset) {
+  // Fewer pairs than one subset: the partition makes a single subset, so
+  // sharding degenerates to K = 1 regardless of the request.
+  const auto specs = ShardCoordinator::PlanShards(150, 200, 4);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].begin, 0u);
+  EXPECT_EQ(specs[0].end, 150u);
+  EXPECT_EQ(specs[0].num_subsets(), 1u);
+}
+
+TEST(PlanShardsTest, EmptyWorkloadPlansNothing) {
+  EXPECT_TRUE(ShardCoordinator::PlanShards(0, 200, 4).empty());
+}
+
+TEST(PlanShardsTest, DeterministicAcrossCalls) {
+  const auto a = ShardCoordinator::PlanShards(100077, 200, 8);
+  const auto b = ShardCoordinator::PlanShards(100077, 200, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].begin, b[k].begin);
+    EXPECT_EQ(a[k].end, b[k].end);
+  }
+  CheckPlanInvariants(a, 100077, 200);
+}
+
+// ---------------------------------------------------------------------------
+// ShardResolver: the per-shard worker against the global ground truth.
+// ---------------------------------------------------------------------------
+
+class ShardResolverTest : public ::testing::Test {
+ protected:
+  static data::Workload workload_;
+  static void SetUpTestSuite() {
+    workload_ = data::SimulatePairs(data::DsConfigSmall(77, 4000));
+  }
+};
+data::Workload ShardResolverTest::workload_;
+
+TEST_F(ShardResolverTest, SliceMatchesGlobalRows) {
+  const auto specs = ShardCoordinator::PlanShards(workload_.size(), 200, 4);
+  for (const ShardSpec& spec : specs) {
+    ShardResolver resolver(workload_, spec, 200, 0.0, 99);
+    ASSERT_EQ(resolver.slice().size(), spec.num_pairs());
+    for (size_t i = 0; i < spec.num_pairs(); ++i) {
+      EXPECT_EQ(resolver.slice().Similarity(i),
+                workload_.Similarity(spec.begin + i));
+      EXPECT_EQ(resolver.slice().IsMatch(i),
+                workload_.IsMatch(spec.begin + i));
+    }
+  }
+}
+
+TEST_F(ShardResolverTest, LocalPartitionReproducesGlobalSubsets) {
+  SubsetPartition global(&workload_, 200);
+  const auto specs = ShardCoordinator::PlanShards(workload_.size(), 200, 4);
+  for (const ShardSpec& spec : specs) {
+    ShardResolver resolver(workload_, spec, 200, 0.0, 99);
+    ASSERT_EQ(resolver.partition().num_subsets(), spec.num_subsets());
+    for (size_t j = 0; j < spec.num_subsets(); ++j) {
+      const Subset& local = resolver.partition()[j];
+      const Subset& ref = global[spec.subset_begin + j];
+      EXPECT_EQ(local.begin + spec.begin, ref.begin);
+      EXPECT_EQ(local.end + spec.begin, ref.end);
+      // Bitwise: the per-subset similarity sum adds the same doubles in
+      // the same order on both sides.
+      EXPECT_EQ(local.avg_similarity, ref.avg_similarity);
+    }
+  }
+}
+
+TEST_F(ShardResolverTest, AnswersMatchGlobalOracleIncludingErrorFlips) {
+  // The keystone of bit-identity: with a nonzero error rate, a shard's
+  // answer for local index i must equal the GLOBAL oracle's answer for
+  // global index spec.begin + i — error flips hash the pair, not the shard.
+  Oracle global_oracle(&workload_, 0.05, 1234);
+  const auto specs = ShardCoordinator::PlanShards(workload_.size(), 200, 4);
+  for (const ShardSpec& spec : specs) {
+    ShardResolver resolver(workload_, spec, 200, 0.05, 1234);
+    std::vector<size_t> local_indices;
+    for (size_t i = 0; i < spec.num_pairs(); i += 37) {
+      local_indices.push_back(i);
+    }
+    const std::vector<char> answers = resolver.AnswerBatch(local_indices);
+    ASSERT_EQ(answers.size(), local_indices.size());
+    for (size_t t = 0; t < local_indices.size(); ++t) {
+      EXPECT_EQ(answers[t] != 0,
+                global_oracle.InlineAnswer(spec.begin + local_indices[t]));
+    }
+  }
+}
+
+TEST_F(ShardResolverTest, EvidenceAccountsForEveryAnswer) {
+  const auto specs = ShardCoordinator::PlanShards(workload_.size(), 200, 2);
+  ShardResolver resolver(workload_, specs[0], 200, 0.0, 99);
+  // Inspect a full subset plus a sparse sample of another.
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < 200; ++i) batch.push_back(i);
+  for (size_t i = 400; i < 600; i += 10) batch.push_back(i);
+  resolver.AnswerBatch(batch);
+
+  const ShardEvidence ev = resolver.Evidence();
+  EXPECT_EQ(ev.shard, specs[0].shard);
+  EXPECT_EQ(ev.cost, batch.size());
+  ASSERT_EQ(ev.strata.size(), specs[0].num_subsets());
+  EXPECT_EQ(ev.strata[0].sample_size, 200u);   // fully covered subset
+  EXPECT_EQ(ev.strata[0].population, 200u);
+  EXPECT_EQ(ev.strata[2].sample_size, 20u);    // the sparse subset
+  EXPECT_EQ(ev.strata[1].sample_size, 0u);
+  // Beta posterior = 1 + positives / 1 + negatives over all evidence.
+  size_t positives = 0;
+  for (const auto& st : ev.strata) positives += st.sample_positives;
+  EXPECT_EQ(ev.posterior_alpha, 1.0 + static_cast<double>(positives));
+  EXPECT_EQ(ev.posterior_beta,
+            1.0 + static_cast<double>(batch.size() - positives));
+}
+
+TEST_F(ShardResolverTest, EvidenceWireCodecRoundtrips) {
+  const auto specs = ShardCoordinator::PlanShards(workload_.size(), 200, 2);
+  ShardResolver resolver(workload_, specs[1], 200, 0.02, 7);
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < specs[1].num_pairs(); i += 13) batch.push_back(i);
+  resolver.AnswerBatch(batch);
+
+  const ShardEvidence ev = resolver.Evidence();
+  ShardEvidence decoded;
+  ASSERT_TRUE(DecodeEvidence(EncodeEvidence(ev), &decoded));
+  EXPECT_EQ(decoded.shard, ev.shard);
+  EXPECT_EQ(decoded.cost, ev.cost);
+  EXPECT_EQ(decoded.total_requests, ev.total_requests);
+  EXPECT_EQ(decoded.duplicate_requests, ev.duplicate_requests);
+  EXPECT_EQ(decoded.posterior_alpha, ev.posterior_alpha);
+  EXPECT_EQ(decoded.posterior_beta, ev.posterior_beta);
+  ASSERT_EQ(decoded.strata.size(), ev.strata.size());
+  for (size_t k = 0; k < ev.strata.size(); ++k) {
+    EXPECT_EQ(decoded.strata[k].population, ev.strata[k].population);
+    EXPECT_EQ(decoded.strata[k].sample_size, ev.strata[k].sample_size);
+    EXPECT_EQ(decoded.strata[k].sample_positives,
+              ev.strata[k].sample_positives);
+  }
+  // Truncation fails cleanly.
+  std::vector<uint8_t> bytes = EncodeEvidence(ev);
+  bytes.resize(bytes.size() - 3);
+  ShardEvidence bad;
+  EXPECT_FALSE(DecodeEvidence(bytes, &bad));
+}
+
+// ---------------------------------------------------------------------------
+// ShardCoordinator end to end on a small workload. The suite name carries
+// the ShardedInProcess prefix so the TSan CI job picks it up: the
+// in-process transport is the concurrent one (ParallelFor over shards).
+// ---------------------------------------------------------------------------
+
+class ShardedInProcessCoordinatorTest : public ::testing::Test {
+ protected:
+  static data::Workload workload_;
+  static void SetUpTestSuite() {
+    workload_ = data::SimulatePairs(data::DsConfigSmall(321, 6000));
+  }
+
+  static ShardedOptions Options(size_t num_shards, ShardTransport transport) {
+    ShardedOptions options;
+    options.num_shards = num_shards;
+    options.transport = transport;
+    options.streaming.sampling.seed = 1000;
+    return options;
+  }
+};
+data::Workload ShardedInProcessCoordinatorTest::workload_;
+
+TEST_F(ShardedInProcessCoordinatorTest, MatchesOneShotAtEveryShardCount) {
+  const QualityRequirement req{0.9, 0.9, 0.9};
+  // The one-shot reference: the plain streaming resolver, same options.
+  StreamingResolver one_shot(Options(1, ShardTransport::kInProcess).streaming,
+                             req);
+  one_shot.Ingest(data::Shard{0, workload_.MaterializePairs()});
+  const auto reference = one_shot.Certify();
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+
+  for (const size_t k : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(k);
+    ShardCoordinator coordinator(Options(k, ShardTransport::kInProcess), req);
+    const auto sharded = coordinator.Resolve(workload_);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+    EXPECT_EQ(sharded->certificate.solution.h_lo, reference->solution.h_lo);
+    EXPECT_EQ(sharded->certificate.solution.h_hi, reference->solution.h_hi);
+    EXPECT_EQ(sharded->certificate.solution.empty, reference->solution.empty);
+    EXPECT_EQ(sharded->certificate.resolution.labels,
+              reference->resolution.labels);
+    EXPECT_EQ(sharded->certificate.total_inspections,
+              reference->total_inspections);
+    EXPECT_EQ(sharded->merged_cost, reference->total_inspections);
+    EXPECT_TRUE(sharded->evidence_consistent);
+    EXPECT_TRUE(sharded->labels_consistent);
+    EXPECT_EQ(sharded->transport, ShardTransport::kInProcess);
+    EXPECT_EQ(sharded->shards.size(),
+              ShardCoordinator::PlanShards(workload_.size(), 200, k).size());
+  }
+}
+
+TEST_F(ShardedInProcessCoordinatorTest, ReportsCoverCostExactly) {
+  const QualityRequirement req{0.9, 0.9, 0.9};
+  ShardCoordinator coordinator(Options(4, ShardTransport::kInProcess), req);
+  const auto sharded = coordinator.Resolve(workload_);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  size_t total_answered = 0;
+  for (const ShardReport& report : sharded->shards) {
+    total_answered += report.answered;
+    EXPECT_EQ(report.answered, report.evidence.cost);
+    // Unlimited budget: allocation == shard population, grant == demand.
+    EXPECT_EQ(report.budget_allocated, report.spec.num_pairs());
+    EXPECT_EQ(report.budget_granted, report.answered);
+    EXPECT_EQ(report.evidence.duplicate_requests, 0u);
+  }
+  EXPECT_EQ(total_answered, sharded->merged_cost);
+  // Merged Beta posterior covers every answered pair.
+  EXPECT_EQ((sharded->posterior_alpha - 1.0) + (sharded->posterior_beta - 1.0),
+            static_cast<double>(sharded->merged_cost));
+}
+
+TEST_F(ShardedInProcessCoordinatorTest, SufficientBudgetPassesTightOneFails) {
+  const QualityRequirement req{0.9, 0.9, 0.9};
+  // Establish the true demand, then grant exactly that much: must succeed.
+  ShardedOptions unlimited = Options(4, ShardTransport::kInProcess);
+  ShardCoordinator probe(unlimited, req);
+  const auto reference = probe.Resolve(workload_);
+  ASSERT_TRUE(reference.ok());
+  const size_t demand = reference->merged_cost;
+
+  ShardedOptions exact = Options(4, ShardTransport::kInProcess);
+  exact.oracle_budget = demand;
+  const auto at_budget = ShardCoordinator(exact, req).Resolve(workload_);
+  ASSERT_TRUE(at_budget.ok()) << at_budget.status().message();
+  EXPECT_EQ(at_budget->merged_cost, demand);
+
+  // One inspection less: the settlement comes up short and the resolve
+  // fails with OutOfRange. (The answers were still produced — the budget
+  // is certified after the fact, not enforced mid-run.)
+  ShardedOptions tight = Options(4, ShardTransport::kInProcess);
+  tight.oracle_budget = demand - 1;
+  const auto over = ShardCoordinator(tight, req).Resolve(workload_);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ShardedInProcessCoordinatorTest, EmptyWorkloadIsInvalidArgument) {
+  ShardCoordinator coordinator(Options(4, ShardTransport::kInProcess),
+                               QualityRequirement{0.9, 0.9, 0.9});
+  const auto result = coordinator.Resolve(data::Workload());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Fork transport on the same small workload — kept OUT of the TSan filter
+// (fork plus TSan is unsupported); the fork path's determinism at full DS/AB
+// scale is covered by the integration golden suite.
+TEST(ShardedForkCoordinatorTest, ForkMatchesInProcess) {
+  const data::Workload workload =
+      data::SimulatePairs(data::DsConfigSmall(321, 6000));
+  const QualityRequirement req{0.9, 0.9, 0.9};
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.streaming.sampling.seed = 1000;
+
+  options.transport = ShardTransport::kInProcess;
+  const auto in_process = ShardCoordinator(options, req).Resolve(workload);
+  ASSERT_TRUE(in_process.ok()) << in_process.status().message();
+
+  options.transport = ShardTransport::kFork;
+  const auto forked = ShardCoordinator(options, req).Resolve(workload);
+  ASSERT_TRUE(forked.ok()) << forked.status().message();
+  if (forked->transport == ShardTransport::kInProcess) {
+    GTEST_SKIP() << "fork transport unavailable on this platform";
+  }
+  EXPECT_TRUE(forked->evidence_consistent);
+  EXPECT_TRUE(forked->labels_consistent);
+  EXPECT_EQ(forked->certificate.resolution.labels,
+            in_process->certificate.resolution.labels);
+  EXPECT_EQ(forked->certificate.solution.h_lo,
+            in_process->certificate.solution.h_lo);
+  EXPECT_EQ(forked->certificate.solution.h_hi,
+            in_process->certificate.solution.h_hi);
+  EXPECT_EQ(forked->merged_cost, in_process->merged_cost);
+  ASSERT_EQ(forked->shards.size(), in_process->shards.size());
+  for (size_t k = 0; k < forked->shards.size(); ++k) {
+    EXPECT_EQ(forked->shards[k].answered, in_process->shards[k].answered);
+  }
+}
+
+TEST(ShardedForkCoordinatorTest, ErrorProneOracleStaysBitIdentical) {
+  // Error injection is the subtle cross-process case: flips must hash the
+  // GLOBAL pair index inside each forked worker.
+  const data::Workload workload =
+      data::SimulatePairs(data::DsConfigSmall(55, 4000));
+  const QualityRequirement req{0.85, 0.85, 0.9};
+  ShardedOptions options;
+  options.num_shards = 3;
+  options.streaming.sampling.seed = 1000;
+  options.streaming.oracle_error_rate = 0.05;
+  options.streaming.oracle_seed = 424242;
+
+  StreamingResolver one_shot(options.streaming, req);
+  one_shot.Ingest(data::Shard{0, workload.MaterializePairs()});
+  const auto reference = one_shot.Certify();
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+
+  options.transport = ShardTransport::kFork;
+  const auto forked = ShardCoordinator(options, req).Resolve(workload);
+  ASSERT_TRUE(forked.ok()) << forked.status().message();
+  EXPECT_EQ(forked->certificate.resolution.labels,
+            reference->resolution.labels);
+  EXPECT_EQ(forked->certificate.total_inspections,
+            reference->total_inspections);
+  EXPECT_TRUE(forked->evidence_consistent);
+  EXPECT_TRUE(forked->labels_consistent);
+}
+
+}  // namespace
+}  // namespace humo::core

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/shard_coordinator.h"
+#include "core/streaming_resolver.h"
+#include "data/pair_simulator.h"
+#include "data/workload.h"
+#include "data/workload_stream.h"
+#include "eval/evaluation.h"
+#include "eval/golden_reference.h"
+
+namespace humo {
+namespace {
+
+/// The tentpole contract at reference scale: on the calibrated DS 20k and
+/// AB 60k workloads (the exact setups eval/golden_reference.h pins), a
+/// sharded resolution at ANY shard count produces the one-shot
+/// StreamingResolver's solution, labeling, and total oracle cost bit for
+/// bit, and the cost equals the committed SAMP golden value. A drift in the
+/// shard split, the answer routing, the evidence merge, or the oracle's
+/// error keying fails here by name.
+///
+/// The in-process suite carries the ShardedInProcess prefix so the TSan CI
+/// job runs it (the in-process transport fans shards out on the thread
+/// pool); the fork suite is named apart because fork + TSan is unsupported.
+class ShardedInProcessGoldenTest : public ::testing::Test {
+ protected:
+  static data::Workload ds_;
+  static data::Workload ab_;
+
+  static void SetUpTestSuite() {
+    ds_ = data::SimulatePairs(data::DsConfigSmall(555, 20000));
+    ab_ = data::SimulatePairs(data::AbConfigSmall(1234, 60000));
+  }
+
+  static core::StreamingOptions GoldenStreamingOptions() {
+    core::StreamingOptions options;
+    options.sampling.seed = 1000;  // the golden table's optimizer seed
+    return options;
+  }
+
+  static void CheckAgainstOneShot(const data::Workload& workload,
+                                  const eval::GoldenSampReference& golden,
+                                  core::ShardTransport transport,
+                                  const std::vector<size_t>& shard_counts) {
+    const core::QualityRequirement req{0.9, 0.9, 0.9};
+    core::StreamingResolver one_shot(GoldenStreamingOptions(), req);
+    one_shot.Ingest(data::Shard{0, workload.MaterializePairs()});
+    const auto reference = one_shot.Certify();
+    ASSERT_TRUE(reference.ok()) << reference.status().message();
+    // The reference itself must sit on the committed golden value — if the
+    // one-shot baseline moved, this failure names the real culprit instead
+    // of blaming the sharded comparison.
+    ASSERT_EQ(reference->total_inspections, golden.human_cost);
+
+    for (const size_t k : shard_counts) {
+      SCOPED_TRACE(testing::Message() << golden.workload << " K=" << k);
+      core::ShardedOptions options;
+      options.num_shards = k;
+      options.transport = transport;
+      options.streaming = GoldenStreamingOptions();
+      core::ShardCoordinator coordinator(options, req);
+      const auto sharded = coordinator.Resolve(workload);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+
+      // Bit-identical solution, labeling, and oracle cost.
+      EXPECT_EQ(sharded->certificate.solution.empty,
+                reference->solution.empty);
+      EXPECT_EQ(sharded->certificate.solution.h_lo, reference->solution.h_lo);
+      EXPECT_EQ(sharded->certificate.solution.h_hi, reference->solution.h_hi);
+      EXPECT_EQ(sharded->certificate.resolution.labels,
+                reference->resolution.labels);
+      EXPECT_EQ(sharded->certificate.total_inspections,
+                reference->total_inspections);
+      EXPECT_EQ(sharded->merged_cost, golden.human_cost);
+
+      // The coordinator's own consistency verdicts.
+      EXPECT_TRUE(sharded->evidence_consistent);
+      EXPECT_TRUE(sharded->labels_consistent);
+
+      // Quality of the sharded labeling equals the committed golden
+      // quality exactly.
+      const auto quality =
+          eval::QualityOf(workload, sharded->certificate.resolution.labels);
+      EXPECT_EQ(quality.precision, golden.precision);
+      EXPECT_EQ(quality.recall, golden.recall);
+
+      // Shard accounting tiles the global cost with zero duplicates.
+      size_t answered = 0;
+      for (const auto& report : sharded->shards) {
+        answered += report.answered;
+        EXPECT_EQ(report.evidence.duplicate_requests, 0u);
+      }
+      EXPECT_EQ(answered, sharded->merged_cost);
+    }
+  }
+};
+
+data::Workload ShardedInProcessGoldenTest::ds_;
+data::Workload ShardedInProcessGoldenTest::ab_;
+
+TEST_F(ShardedInProcessGoldenTest, DsMatchesOneShotAtK1248) {
+  CheckAgainstOneShot(ds_, eval::kGoldenSampDs,
+                      core::ShardTransport::kInProcess, {1, 2, 4, 8});
+}
+
+TEST_F(ShardedInProcessGoldenTest, AbMatchesOneShotAtK1248) {
+  CheckAgainstOneShot(ab_, eval::kGoldenSampAb,
+                      core::ShardTransport::kInProcess, {1, 2, 4, 8});
+}
+
+// Fork transport at reference scale, one representative shard count per
+// workload (the full K grid runs in-process above; fork vs in-process
+// equality at every K is covered by bench_sharded's contract run).
+using ShardedForkGoldenTest = ShardedInProcessGoldenTest;
+
+TEST_F(ShardedForkGoldenTest, DsForkedWorkersMatchOneShot) {
+  if (!ForkTransportAvailable()) GTEST_SKIP() << "no fork on this platform";
+  CheckAgainstOneShot(ds_, eval::kGoldenSampDs, core::ShardTransport::kFork,
+                      {4});
+}
+
+TEST_F(ShardedForkGoldenTest, AbForkedWorkersMatchOneShot) {
+  if (!ForkTransportAvailable()) GTEST_SKIP() << "no fork on this platform";
+  CheckAgainstOneShot(ab_, eval::kGoldenSampAb, core::ShardTransport::kFork,
+                      {4});
+}
+
+}  // namespace
+}  // namespace humo
